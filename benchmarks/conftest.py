@@ -1,0 +1,35 @@
+"""Benchmark configuration.
+
+Paper-scale knobs can be enabled with environment variables:
+
+* ``REPRO_BENCH_DURATION``  — per-run simulated seconds (default 60; the
+  paper ran 300).
+* ``REPRO_BENCH_SETS``      — task sets per experiment (default 10, like
+  the paper).
+
+Each benchmark prints the reproduced table/figure once at the end of its
+measurement so `pytest benchmarks/ --benchmark-only -s` doubles as the
+report generator for EXPERIMENTS.md.
+"""
+
+import os
+
+import pytest
+
+
+def bench_duration(default: float = 60.0) -> float:
+    return float(os.environ.get("REPRO_BENCH_DURATION", default))
+
+
+def bench_sets(default: int = 10) -> int:
+    return int(os.environ.get("REPRO_BENCH_SETS", default))
+
+
+@pytest.fixture(scope="session")
+def duration():
+    return bench_duration()
+
+
+@pytest.fixture(scope="session")
+def n_sets():
+    return bench_sets()

@@ -1,0 +1,77 @@
+"""Benchmark: ablations beyond the paper's figures.
+
+1. AUB vs Deferrable Server admission (the comparison that motivated the
+   paper's choice of AUB, section 2).
+2. Overhead sensitivity: how the accepted utilization ratio responds to
+   scaling all middleware operation costs (the trade-off the paper asks
+   developers to weigh in section 4.2).
+3. Simulation-substrate throughput: events/second of the full middleware
+   stack, documenting the cost of the simulated testbed.
+"""
+
+import pytest
+
+from repro.core.cost_model import CostModel
+from repro.core.middleware import MiddlewareSystem
+from repro.core.strategies import StrategyCombo
+from repro.experiments import run_aub_vs_deferrable
+from repro.experiments.report import format_table
+from repro.sim.rng import RngRegistry
+from repro.workloads.generator import generate_random_workload
+
+from conftest import bench_duration, bench_sets
+
+
+def test_bench_aub_vs_deferrable(benchmark):
+    result = benchmark(
+        lambda: run_aub_vs_deferrable(
+            n_sets=min(4, bench_sets()), duration=60.0, seed=2008
+        )
+    )
+    print()
+    print(result.format())
+    assert 0.0 < result.aub_mean <= 1.0
+    assert 0.0 < result.ds_mean <= 1.0
+
+
+def test_bench_overhead_sensitivity(benchmark):
+    """Accepted ratio under 0x, 1x, 10x, 50x middleware cost scaling."""
+    workload = generate_random_workload(RngRegistry(2008).stream("wl"))
+    combo = StrategyCombo.from_label("J_J_J")
+    duration = min(60.0, bench_duration())
+
+    def run_at(scale):
+        cost = CostModel.zero() if scale == 0 else CostModel().scaled(scale)
+        system = MiddlewareSystem(workload, combo, cost_model=cost, seed=5)
+        return system.run(duration).accepted_utilization_ratio
+
+    rows = []
+    for scale in (0, 1, 10, 50):
+        rows.append([f"{scale}x", run_at(scale)])
+    benchmark(lambda: run_at(1))
+    print()
+    print(
+        format_table(
+            ["cost scale", "accepted utilization ratio"],
+            rows,
+            title="Ablation — middleware overhead sensitivity (J_J_J)",
+        )
+    )
+    # Calibrated overheads (~1 ms per admission) are negligible against
+    # deadlines of 250 ms - 10 s: the ratio must be stable at 1x.
+    assert abs(rows[1][1] - rows[0][1]) < 0.05
+
+
+def test_bench_simulation_throughput(benchmark):
+    """Events/second of the full middleware simulation."""
+    workload = generate_random_workload(RngRegistry(2008).stream("wl"))
+    combo = StrategyCombo.from_label("J_J_J")
+
+    def run_once():
+        system = MiddlewareSystem(workload, combo, seed=5)
+        return system.run(30.0)
+
+    results = benchmark(run_once)
+    events_per_sec = results.events_executed / benchmark.stats["mean"]
+    print(f"\nsimulated events per wall second: {events_per_sec:,.0f}")
+    assert results.events_executed > 0

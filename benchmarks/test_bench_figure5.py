@@ -1,0 +1,49 @@
+"""Benchmark: Figure 5 — accepted utilization ratio, 15 valid combos.
+
+Regenerates the paper's Figure 5 bar series (section 7.1 random
+workloads) and asserts its qualitative findings:
+
+* enabling idle resetting or load balancing increases accepted
+  utilization;
+* IR per job (*_J_*) significantly outperforms IR per task / none;
+* the J_J_* combinations are the top tier.
+"""
+
+import pytest
+
+from repro.experiments import run_figure5
+
+from conftest import bench_duration, bench_sets
+
+
+@pytest.fixture(scope="module")
+def figure5_result():
+    return run_figure5(n_sets=bench_sets(), duration=bench_duration(), seed=2008)
+
+
+def test_bench_figure5(benchmark, figure5_result):
+    """Measure one full Figure 5 cell (one combo over all task sets)."""
+
+    def one_combo():
+        from repro.core.strategies import StrategyCombo
+
+        return run_figure5(
+            n_sets=min(3, bench_sets()),
+            duration=min(30.0, bench_duration()),
+            seed=2008,
+            combos=[StrategyCombo.from_label("J_J_J")],
+        )
+
+    benchmark(one_combo)
+    result = figure5_result
+    print()
+    print(result.format())
+    groups = result.by_ir_strategy()
+    print(f"IR-strategy means: {groups}")
+    # Paper findings (shape assertions):
+    assert groups["J"] > groups["T"], "IR per job must beat IR per task"
+    assert groups["J"] > groups["N"], "IR per job must beat no IR"
+    jj = [result.per_combo[l] for l in ("J_J_N", "J_J_T", "J_J_J")]
+    others = [v for l, v in result.per_combo.items() if not l.startswith("J_J")]
+    assert min(jj) > max(others) - 0.05, "J_J_* must be the top tier"
+    assert result.deadline_misses == 0, "admitted jobs must meet deadlines"

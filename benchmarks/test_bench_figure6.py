@@ -1,0 +1,50 @@
+"""Benchmark: Figure 6 — LB strategy comparison, imbalanced workloads.
+
+Regenerates the paper's Figure 6 (section 7.2) and asserts its findings:
+LB per task significantly improves on no LB; LB per job adds little over
+per task.
+"""
+
+import pytest
+
+from repro.experiments import run_figure6
+
+from conftest import bench_duration, bench_sets
+
+
+@pytest.fixture(scope="module")
+def figure6_result():
+    return run_figure6(n_sets=bench_sets(), duration=bench_duration(), seed=2008)
+
+
+def test_bench_figure6(benchmark, figure6_result):
+    def one_group():
+        from repro.core.strategies import StrategyCombo
+
+        return run_figure6(
+            n_sets=min(3, bench_sets()),
+            duration=min(30.0, bench_duration()),
+            seed=2008,
+            combos=[
+                StrategyCombo.from_label("J_J_N"),
+                StrategyCombo.from_label("J_J_T"),
+                StrategyCombo.from_label("J_J_J"),
+            ],
+        )
+
+    benchmark(one_group)
+    result = figure6_result
+    print()
+    print(result.format())
+    means = result.lb_means()
+    print(f"LB-strategy means: {means}")
+    assert means["T"] > means["N"] + 0.05, (
+        "LB per task must significantly beat no LB under imbalance"
+    )
+    assert abs(means["J"] - means["T"]) < 0.1, (
+        "LB per job must be close to LB per task"
+    )
+    # Within every (AC, IR) group the no-LB bar is the lowest.
+    for key, (none, per_task, per_job) in result.lb_groups().items():
+        assert per_task >= none - 0.02, key
+    assert result.deadline_misses == 0

@@ -1,0 +1,68 @@
+"""Benchmark: Figure 8 — service component overheads (microseconds).
+
+Regenerates the paper's overhead table (section 7.3) and asserts:
+
+* every row lands within 25% of the paper's mean (the cost model is
+  calibrated, the *composition* is what's being validated);
+* every service delay stays below 2 ms (the paper's headline claim);
+* the AC-side part of idle resetting is tiny compared to the
+  off-critical-path part.
+
+Also micro-benchmarks the *real* Python execution time of the AUB
+admission test, validating the paper's scalability argument that "the
+computation time of the schedulability analysis is significantly lower
+than task execution times".
+"""
+
+import random
+
+import pytest
+
+from repro.experiments import run_figure8
+from repro.metrics.overhead import PAPER_FIGURE8_USEC
+from repro.sched.aub import AubAnalyzer, SyntheticUtilizationLedger
+
+from conftest import bench_duration
+
+
+@pytest.fixture(scope="module")
+def figure8_result():
+    return run_figure8(duration=max(60.0, bench_duration()), seed=2008)
+
+
+def test_bench_figure8_table(benchmark, figure8_result):
+    benchmark(lambda: run_figure8(duration=20.0, seed=2008))
+    result = figure8_result
+    print()
+    print(result.format())
+    for row in result.rows:
+        paper_mean, _ = PAPER_FIGURE8_USEC[row.name]
+        assert row.mean_usec == pytest.approx(paper_mean, rel=0.25), row.name
+    assert result.max_service_delay_usec() < 2000.0
+    ir_ac = result.row("ir_ac_side")
+    ir_other = result.row("ir_other_part")
+    assert ir_ac.mean_usec * 10 < ir_other.mean_usec
+
+
+def test_bench_aub_admission_test_speed(benchmark):
+    """Real wall-clock cost of one AUB admission test with a loaded system
+    (40 registered end-to-end tasks over 5 processors)."""
+    nodes = [f"app{i}" for i in range(1, 6)]
+    ledger = SyntheticUtilizationLedger(nodes)
+    analyzer = AubAnalyzer(ledger)
+    rng = random.Random(7)
+    for i in range(40):
+        visits = rng.sample(nodes, rng.randint(1, 4))
+        for j, node in enumerate(visits):
+            ledger.add(node, (f"T{i}", 0, j), 0.005)
+        analyzer.register((f"T{i}", 0), visits, None)
+    candidate_visits = ["app1", "app2", "app3"]
+    contribs = {"app1": 0.02, "app2": 0.02, "app3": 0.02}
+
+    result = benchmark(
+        lambda: analyzer.admissible(candidate_visits, contribs, now=0.0)
+    )
+    assert result is True
+    # The paper's argument holds if a test takes far less than typical
+    # subtask execution times (tens of ms): require < 1 ms in Python.
+    assert benchmark.stats["mean"] < 1e-3

@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""Centralized vs decentralized admission control (paper section 3).
+
+The paper chose one central AC/LB pair on a task-manager processor and
+argued a distributed alternative would need synchronization among
+admission controllers.  This example runs both architectures on the same
+random workload and prints the measured trade-off: coordination traffic
+and conservatism versus the (theoretical) central bottleneck.
+"""
+
+import random
+
+from repro.core.distributed_ac import DistributedMiddlewareSystem
+from repro.core.middleware import MiddlewareSystem
+from repro.core.strategies import StrategyCombo
+from repro.experiments.report import format_table
+from repro.workloads.generator import generate_random_workload
+
+
+def main() -> None:
+    rows = []
+    for seed in range(4):
+        workload = generate_random_workload(random.Random(300 + seed))
+        centralized = MiddlewareSystem(
+            workload, StrategyCombo.from_label("J_N_N"), seed=seed
+        )
+        r_cent = centralized.run(duration=90.0)
+        distributed = DistributedMiddlewareSystem(workload, seed=seed)
+        r_dist = distributed.run(duration=90.0)
+        rows.append(
+            [
+                seed,
+                r_cent.accepted_utilization_ratio,
+                r_dist.accepted_utilization_ratio,
+                r_cent.messages_sent,
+                r_dist.messages_sent,
+                r_dist.reserve_messages,
+                r_cent.deadline_misses + r_dist.deadline_misses,
+            ]
+        )
+
+    print(
+        format_table(
+            ["set", "central ratio", "distrib ratio", "central msgs",
+             "distrib msgs", "reserve msgs", "misses"],
+            rows,
+            title="Centralized vs decentralized admission control (90 s)",
+        )
+    )
+    print(
+        "\nThe decentralized two-phase protocol preserves the deadline "
+        "guarantee\nbut partitions AUB slack into per-processor caps "
+        "(conservative) and pays\nextra coordination messages — the "
+        "trade-off behind the paper's centralized choice."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,55 @@
+#!/usr/bin/env python3
+"""Sweep all 15 valid strategy combinations over one random workload.
+
+Reproduces a single-task-set slice of the paper's Figure 5 and prints the
+bar chart plus the trade-off summary (acceptance vs middleware events —
+the overhead proxy the paper asks developers to weigh).
+"""
+
+import random
+
+from repro import MiddlewareSystem, valid_combinations
+from repro.experiments.report import bar_chart, format_table
+from repro.workloads.generator import generate_random_workload
+
+
+def main() -> None:
+    workload = generate_random_workload(random.Random(11))
+    print(f"workload: {len(workload.tasks)} tasks over "
+          f"{len(workload.app_nodes)} processors, "
+          f"static utilization {list(workload.static_utilization().values())[0]:.2f}")
+
+    ratios = {}
+    rows = []
+    for combo in valid_combinations():
+        system = MiddlewareSystem(workload, combo, seed=3)
+        run = system.run(duration=90.0)
+        ratios[combo.label] = run.accepted_utilization_ratio
+        rows.append(
+            [
+                combo.label,
+                run.accepted_utilization_ratio,
+                run.metrics.rejected_jobs,
+                run.messages_sent,
+                run.deadline_misses,
+            ]
+        )
+
+    print()
+    print(bar_chart(ratios, title="Accepted utilization ratio by combination"))
+    print()
+    print(
+        format_table(
+            ["combo", "ratio", "rejected", "messages", "misses"],
+            rows,
+            title="Acceptance vs middleware traffic (90 s, one task set)",
+        )
+    )
+    best = max(ratios, key=ratios.get)
+    cheapest = min(rows, key=lambda r: r[3])
+    print(f"\nbest acceptance: {best} ({ratios[best]:.3f}); "
+          f"fewest middleware messages: {cheapest[0]} ({cheapest[3]})")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,52 @@
+"""repro — Reconfigurable real-time middleware for distributed CPS.
+
+A production-quality Python reproduction of Zhang, Gill & Lu,
+"Reconfigurable Real-Time Middleware for Distributed Cyber-Physical
+Systems with Aperiodic Events" (WUCSE-2008-5 / ICDCS 2008).
+
+Quickstart
+----------
+>>> import random
+>>> from repro import MiddlewareSystem, StrategyCombo
+>>> from repro.workloads import generate_random_workload
+>>> workload = generate_random_workload(random.Random(1))
+>>> system = MiddlewareSystem(workload, StrategyCombo.from_label("J_J_J"))
+>>> results = system.run(duration=20.0)
+>>> 0.0 <= results.accepted_utilization_ratio <= 1.0
+True
+
+See ``examples/`` for full scenarios and ``benchmarks/`` for the
+reproductions of the paper's figures and tables.
+"""
+
+from repro.core.cost_model import CostModel
+from repro.core.middleware import MiddlewareSystem, SystemResults
+from repro.core.strategies import (
+    ACStrategy,
+    IRStrategy,
+    LBStrategy,
+    StrategyCombo,
+    valid_combinations,
+)
+from repro.errors import ReproError
+from repro.sched.task import Job, SubtaskSpec, TaskKind, TaskSpec
+from repro.workloads.model import Workload
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CostModel",
+    "MiddlewareSystem",
+    "SystemResults",
+    "ACStrategy",
+    "IRStrategy",
+    "LBStrategy",
+    "StrategyCombo",
+    "valid_combinations",
+    "ReproError",
+    "Job",
+    "SubtaskSpec",
+    "TaskKind",
+    "TaskSpec",
+    "Workload",
+]

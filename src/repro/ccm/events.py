@@ -1,0 +1,112 @@
+"""Event payload types exchanged between middleware components.
+
+These correspond one-to-one to the events in the paper's Figure 3:
+"Task Arrive" (TE -> AC), "Accept" (AC -> TE), "Trigger" (F/I Subtask ->
+next subtask), "Idle Resetting" (IR -> AC).  A "Reject" event is added so
+task effectors can clean up held jobs; the paper leaves the rejection path
+implicit.
+
+Topic-name constants are defined here so publishers and subscribers cannot
+drift apart.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.sched.task import Job
+
+#: Topic: task effector announces an arrived job to the admission controller.
+TOPIC_TASK_ARRIVE = "task_arrive"
+
+#: Topic: admission controller authorizes release of a held job.
+TOPIC_ACCEPT = "accept"
+
+#: Topic: admission controller refuses a held job.
+TOPIC_REJECT = "reject"
+
+#: Topic: a subtask component triggers its successor subtask.
+TOPIC_TRIGGER = "trigger"
+
+#: Topic: idle resetter reports completed subjobs to the admission controller.
+TOPIC_IDLE_RESETTING = "idle_resetting"
+
+
+@dataclass(frozen=True)
+class TaskArriveEvent:
+    """A job arrived at a task effector and awaits an admission decision."""
+
+    job: "Job"
+    arrival_node: str
+
+
+@dataclass(frozen=True)
+class AcceptEvent:
+    """Admission granted; release the job using ``assignment``.
+
+    ``assignment`` maps subtask index -> processor name.  ``reallocated``
+    is true when the first subtask runs on a different node than the one
+    the job arrived on (the paper's "task re-allocation" via a duplicate).
+    """
+
+    job: "Job"
+    assignment: Dict[int, str]
+    arrival_node: str
+    release_node: str
+
+    @property
+    def reallocated(self) -> bool:
+        return self.release_node != self.arrival_node
+
+
+@dataclass(frozen=True)
+class RejectEvent:
+    """Admission denied; the job (or whole task) is skipped."""
+
+    job: "Job"
+    arrival_node: str
+    reason: str = ""
+
+
+@dataclass(frozen=True)
+class TriggerEvent:
+    """Completion of subtask ``index`` releases subtask ``index + 1``."""
+
+    job: "Job"
+    next_index: int
+    assignment: Dict[int, str]
+
+
+@dataclass(frozen=True)
+class IdleResettingEvent:
+    """Completed-subjob contributions that can be reset on the AC side.
+
+    ``entries`` is a tuple of ledger keys ``(task_id, job_index,
+    subtask_index, node)`` identifying contributions whose deadline has not
+    yet expired.
+    """
+
+    node: str
+    entries: Tuple[Tuple[str, int, int, str], ...]
+
+
+def trigger_topic(task_id: str, next_index: int) -> str:
+    """The point-to-point topic a subtask instance listens on.
+
+    Each deployed subtask component instance subscribes on its own node to
+    ``trigger/<task>/<position>``; the sender addresses the node chosen by
+    the job's assignment plan.
+    """
+    return f"{TOPIC_TRIGGER}/{task_id}/{next_index}"
+
+
+def accept_topic(node: str) -> str:
+    """Topic the task effector on ``node`` listens to for Accept events."""
+    return f"{TOPIC_ACCEPT}/{node}"
+
+
+def reject_topic(node: str) -> str:
+    """Topic the task effector on ``node`` listens to for Reject events."""
+    return f"{TOPIC_REJECT}/{node}"

@@ -1,0 +1,113 @@
+"""Component ports: event sources/sinks and facets/receptacles.
+
+Event ports ride on the federated event channel
+(:class:`repro.net.federation.FederatedEventChannel`): a source pushes a
+payload to a topic, point-to-point to a destination node; a sink subscribes
+a handler on its own node.  Facet/receptacle ports model the synchronous
+method collaborations in the paper's Figure 3 (AC -> LB "Location" calls,
+subtask -> IR "Complete" calls), which are always node-local in the paper's
+deployment.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional, TYPE_CHECKING
+
+from repro.errors import PortError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.ccm.component import Component
+
+
+class EventSourcePort:
+    """A publishes port: push events to a topic on a destination node."""
+
+    def __init__(self, owner: "Component", name: str) -> None:
+        self.owner = owner
+        self.name = name
+        self.pushed = 0
+
+    def push(self, destination: str, topic: str, payload: Any) -> None:
+        """Push ``payload`` point-to-point to ``topic`` on ``destination``."""
+        container = self.owner.container
+        if container is None:
+            raise PortError(
+                f"event source {self.name!r} of {self.owner.name!r}: not installed"
+            )
+        self.pushed += 1
+        container.federation.send(container.node, destination, topic, payload)
+
+    def broadcast(self, topic: str, payload: Any) -> None:
+        """Publish ``payload`` to every subscriber of ``topic``."""
+        container = self.owner.container
+        if container is None:
+            raise PortError(
+                f"event source {self.name!r} of {self.owner.name!r}: not installed"
+            )
+        self.pushed += 1
+        container.federation.publish(container.node, topic, payload)
+
+
+class EventSinkPort:
+    """A consumes port: a handler subscribed to a topic on the local node."""
+
+    def __init__(self, owner: "Component", name: str, handler: Callable[[Any], None]) -> None:
+        self.owner = owner
+        self.name = name
+        self.handler = handler
+        self.received = 0
+        self._subscribed_topic: Optional[str] = None
+
+    def subscribe(self, topic: str) -> None:
+        container = self.owner.container
+        if container is None:
+            raise PortError(
+                f"event sink {self.name!r} of {self.owner.name!r}: not installed"
+            )
+        self._subscribed_topic = topic
+        container.federation.subscribe(container.node, topic, self._on_event)
+
+    @property
+    def topic(self) -> Optional[str]:
+        return self._subscribed_topic
+
+    def _on_event(self, payload: Any) -> None:
+        self.received += 1
+        self.handler(payload)
+
+
+class Facet:
+    """A provides port: a named object offering methods to receptacles."""
+
+    def __init__(self, owner: "Component", name: str, obj: Any) -> None:
+        self.owner = owner
+        self.name = name
+        self.obj = obj
+
+
+class Receptacle:
+    """A uses port: holds a reference to a connected facet."""
+
+    def __init__(self, owner: "Component", name: str) -> None:
+        self.owner = owner
+        self.name = name
+        self._facet: Optional[Facet] = None
+
+    def connect(self, facet: Facet) -> None:
+        if self._facet is not None:
+            raise PortError(
+                f"receptacle {self.name!r} of {self.owner.name!r} already connected"
+            )
+        self._facet = facet
+
+    @property
+    def connected(self) -> bool:
+        return self._facet is not None
+
+    def __call__(self) -> Any:
+        """Dereference the connected facet's object."""
+        if self._facet is None:
+            raise PortError(
+                f"receptacle {self.name!r} of {self.owner.name!r} is not connected"
+            )
+        return self._facet.obj

@@ -1,0 +1,57 @@
+"""Component implementation repository.
+
+Deployment plans reference component implementations by name (the paper's
+XML descriptors name implementation artifacts); the repository resolves
+those names to Python component classes at deployment time.  A default
+repository pre-registered with the six paper components is provided by
+:func:`repro.config.dance.default_repository`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterator, Type
+
+from repro.ccm.component import Component
+from repro.errors import DeploymentError
+
+
+class ComponentRepository:
+    """Maps implementation names to component classes or factories."""
+
+    def __init__(self) -> None:
+        self._factories: Dict[str, Callable[[str], Component]] = {}
+
+    def register(self, impl_name: str, factory: Callable[[str], Component]) -> None:
+        """Register ``factory`` (class or callable taking the instance name)."""
+        if impl_name in self._factories:
+            raise DeploymentError(f"implementation {impl_name!r} already registered")
+        self._factories[impl_name] = factory
+
+    def register_class(self, impl_name: str, cls: Type[Component]) -> None:
+        self.register(impl_name, cls)
+
+    def create(self, impl_name: str, instance_name: str) -> Component:
+        """Instantiate the implementation ``impl_name`` as ``instance_name``."""
+        try:
+            factory = self._factories[impl_name]
+        except KeyError:
+            raise DeploymentError(
+                f"unknown component implementation {impl_name!r}; "
+                f"known: {sorted(self._factories)}"
+            ) from None
+        component = factory(instance_name)
+        if not isinstance(component, Component):
+            raise DeploymentError(
+                f"factory for {impl_name!r} returned {type(component).__name__}, "
+                "expected a Component"
+            )
+        return component
+
+    def __contains__(self, impl_name: str) -> bool:
+        return impl_name in self._factories
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(sorted(self._factories))
+
+    def __len__(self) -> int:
+        return len(self._factories)

@@ -1,0 +1,170 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+figure5 / figure6 / figure8 / table1 / ablation
+    Regenerate a paper table or figure and print it.
+analyze <workload-spec>
+    Offline AUB feasibility report for a workload specification file.
+configure <workload-spec> [--answers C1,C3,C2,TOL] [--xml-out PATH]
+    Run the front-end configuration engine: map characteristics to
+    strategies, emit (and optionally save) the XML deployment plan.
+run <workload-spec> [--combo LABEL] [--duration SEC] [--seed N]
+    Deploy a workload (via DAnCE-lite) and run it, printing metrics.
+combos
+    List the 15 valid strategy combinations.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.config.characteristics import ApplicationCharacteristics
+from repro.config.engine import ConfigurationEngine
+from repro.config.workload_spec import load_workload
+from repro.core.strategies import StrategyCombo, valid_combinations
+from repro.errors import ReproError
+from repro.experiments import (
+    run_aub_vs_deferrable,
+    run_figure5,
+    run_figure6,
+    run_figure8,
+    run_table1,
+)
+from repro.experiments.table1 import format_rows
+from repro.sched.offline import analyze_workload, format_report
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reconfigurable real-time middleware reproduction "
+        "(Zhang, Gill & Lu, WUCSE-2008-5).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    for name, doc in (
+        ("figure5", "random workloads, 15 combos (paper section 7.1)"),
+        ("figure6", "imbalanced workloads, LB comparison (section 7.2)"),
+    ):
+        p = sub.add_parser(name, help=doc)
+        p.add_argument("--sets", type=int, default=10)
+        p.add_argument("--duration", type=float, default=60.0)
+        p.add_argument("--seed", type=int, default=2008)
+
+    p8 = sub.add_parser("figure8", help="service overhead table (section 7.3)")
+    p8.add_argument("--duration", type=float, default=300.0)
+    p8.add_argument("--seed", type=int, default=2008)
+
+    sub.add_parser("table1", help="criteria-to-strategy mapping")
+
+    pa = sub.add_parser("ablation", help="AUB vs Deferrable Server admission")
+    pa.add_argument("--sets", type=int, default=10)
+    pa.add_argument("--duration", type=float, default=120.0)
+    pa.add_argument("--seed", type=int, default=2008)
+
+    pan = sub.add_parser("analyze", help="offline AUB feasibility report")
+    pan.add_argument("workload")
+
+    pc = sub.add_parser("configure", help="front-end configuration engine")
+    pc.add_argument("workload")
+    pc.add_argument(
+        "--answers",
+        help="comma-separated answers: job_skipping,replicated,"
+        "state_persistence,tolerance (e.g. N,Y,Y,PT)",
+    )
+    pc.add_argument("--xml-out", help="write the deployment plan XML here")
+
+    pr = sub.add_parser("run", help="deploy and run a workload spec")
+    pr.add_argument("workload")
+    pr.add_argument("--combo", default="T_T_T")
+    pr.add_argument("--duration", type=float, default=60.0)
+    pr.add_argument("--seed", type=int, default=0)
+
+    sub.add_parser("combos", help="list the 15 valid strategy combinations")
+    return parser
+
+
+def _parse_answers(raw: Optional[str]) -> Optional[ApplicationCharacteristics]:
+    if raw is None:
+        return None
+    parts = [p.strip() for p in raw.split(",")]
+    if len(parts) != 4:
+        raise ReproError(
+            "--answers needs 4 comma-separated values: "
+            "job_skipping,replicated,state_persistence,tolerance"
+        )
+    return ApplicationCharacteristics.from_answers(
+        {
+            "job_skipping": parts[0],
+            "replicated_components": parts[1],
+            "state_persistence": parts[2],
+            "overhead_tolerance": parts[3],
+        }
+    )
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    command = args.command
+
+    if command == "figure5":
+        result = run_figure5(
+            n_sets=args.sets, duration=args.duration, seed=args.seed
+        )
+        print(result.format())
+        print(f"IR-strategy means: {result.by_ir_strategy()}")
+    elif command == "figure6":
+        result = run_figure6(
+            n_sets=args.sets, duration=args.duration, seed=args.seed
+        )
+        print(result.format())
+        print(f"LB-strategy means: {result.lb_means()}")
+    elif command == "figure8":
+        result = run_figure8(duration=args.duration, seed=args.seed)
+        print(result.format())
+    elif command == "table1":
+        print(format_rows(run_table1()))
+    elif command == "ablation":
+        result = run_aub_vs_deferrable(
+            n_sets=args.sets, duration=args.duration, seed=args.seed
+        )
+        print(result.format())
+    elif command == "analyze":
+        workload = load_workload(args.workload)
+        print(format_report(analyze_workload(workload)))
+    elif command == "configure":
+        engine = ConfigurationEngine()
+        result = engine.configure(
+            load_workload(args.workload), _parse_answers(args.answers)
+        )
+        print(f"strategy combination: {result.combo.label}")
+        for note in result.notes:
+            print(f"note: {note}")
+        if args.xml_out:
+            with open(args.xml_out, "w") as handle:
+                handle.write(result.xml)
+            print(f"deployment plan written to {args.xml_out}")
+        else:
+            print(result.xml)
+    elif command == "run":
+        engine = ConfigurationEngine()
+        result = engine.configure(
+            load_workload(args.workload),
+            combo=StrategyCombo.from_label(args.combo),
+        )
+        system = engine.deploy(result, seed=args.seed)
+        run = system.run(duration=args.duration)
+        for key, value in run.metrics.summary().items():
+            print(f"{key}: {value}")
+        print(f"accepted_utilization_ratio: {run.accepted_utilization_ratio:.4f}")
+    elif command == "combos":
+        for combo in valid_combinations():
+            print(combo.label)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via tests
+    sys.exit(main())

@@ -1,0 +1,85 @@
+"""CPS application characteristics — the paper's four questions.
+
+The front-end configuration engine asks the application developer
+(paper section 6):
+
+1. Does your application allow job skipping?            (criterion C1)
+2. Does your application have replicated components?    (criterion C3)
+3. Does your application require state persistence?     (criterion C2)
+4. How much extra overhead can you accept as it potentially improves
+   schedulability?  [none (N), some per task (PT), some per job (PJ)]
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.errors import ConfigurationError
+
+
+class OverheadTolerance(enum.Enum):
+    """Answer to question 4: acceptable extra overhead."""
+
+    NONE = "N"
+    PER_TASK = "PT"
+    PER_JOB = "PJ"
+
+
+@dataclass(frozen=True)
+class ApplicationCharacteristics:
+    """Answers to the configuration engine's questionnaire."""
+
+    job_skipping: bool
+    replicated_components: bool
+    state_persistence: bool
+    overhead_tolerance: OverheadTolerance = OverheadTolerance.PER_TASK
+
+    @classmethod
+    def from_answers(cls, answers: Mapping[str, str]) -> "ApplicationCharacteristics":
+        """Parse textual questionnaire answers.
+
+        ``answers`` maps question keys (``job_skipping``,
+        ``replicated_components``, ``state_persistence``,
+        ``overhead_tolerance``) to ``"Y"``/``"N"`` (or ``"N"/"PT"/"PJ"``
+        for the tolerance).  Mirrors the paper's Figure 4 example input
+        ``1. N / 2. Y / 3. Y / 4. PT``.
+        """
+        def yes_no(key: str) -> bool:
+            raw = str(answers.get(key, "")).strip().upper()
+            if raw in ("Y", "YES", "TRUE", "1"):
+                return True
+            if raw in ("N", "NO", "FALSE", "0"):
+                return False
+            raise ConfigurationError(
+                f"answer for {key!r} must be Y or N, got {answers.get(key)!r}"
+            )
+
+        raw_tolerance = (
+            str(answers.get("overhead_tolerance", "PT")).strip().upper()
+        )
+        try:
+            tolerance = OverheadTolerance(raw_tolerance)
+        except ValueError:
+            raise ConfigurationError(
+                "answer for 'overhead_tolerance' must be one of N, PT, PJ; "
+                f"got {answers.get('overhead_tolerance')!r}"
+            ) from None
+        return cls(
+            job_skipping=yes_no("job_skipping"),
+            replicated_components=yes_no("replicated_components"),
+            state_persistence=yes_no("state_persistence"),
+            overhead_tolerance=tolerance,
+        )
+
+    def describe(self) -> str:
+        """Human-readable summary (used by example scripts)."""
+        return (
+            f"C1 job skipping: {'yes' if self.job_skipping else 'no'}; "
+            f"C3 replicated components: "
+            f"{'yes' if self.replicated_components else 'no'}; "
+            f"C2 state persistence: "
+            f"{'yes' if self.state_persistence else 'no'}; "
+            f"overhead tolerance: {self.overhead_tolerance.value}"
+        )

@@ -1,0 +1,83 @@
+"""Table 1: mapping CPS characteristics to middleware strategies.
+
+=========================  =============  =============
+Criterion                  No             Yes
+=========================  =============  =============
+C1: Job Skipping           AC per Task    AC per Job
+C2: State Persistency      LB per Job     LB per Task
+C3: Component Replication  No LB          LB
+=========================  =============  =============
+
+The overhead-tolerance answer selects the Idle Resetting strategy (none /
+per task / per job) — the axis the paper leaves to the developer's
+overhead budget.  One feasibility interaction exists: IR per Job requires
+AC per Job (section 4.5), so an application that cannot skip jobs (AC per
+Task) has its requested per-job resetting clamped down to per task; the
+clamp is reported in the mapping notes rather than silently applied.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.config.characteristics import (
+    ApplicationCharacteristics,
+    OverheadTolerance,
+)
+from repro.core.strategies import (
+    ACStrategy,
+    IRStrategy,
+    LBStrategy,
+    StrategyCombo,
+)
+
+#: The paper's default configuration when no characteristics are given:
+#: "per task admission control, idle resetting and load balancing".
+DEFAULT_COMBO = StrategyCombo(
+    ACStrategy.PER_TASK, IRStrategy.PER_TASK, LBStrategy.PER_TASK
+)
+
+_TOLERANCE_TO_IR = {
+    OverheadTolerance.NONE: IRStrategy.NONE,
+    OverheadTolerance.PER_TASK: IRStrategy.PER_TASK,
+    OverheadTolerance.PER_JOB: IRStrategy.PER_JOB,
+}
+
+
+def map_characteristics(
+    characteristics: ApplicationCharacteristics,
+) -> Tuple[StrategyCombo, List[str]]:
+    """Map questionnaire answers to a valid strategy combination.
+
+    Returns ``(combo, notes)``; notes record any feasibility clamp.
+    The result is always valid (``combo.validate()`` passes).
+    """
+    notes: List[str] = []
+    ac = (
+        ACStrategy.PER_JOB
+        if characteristics.job_skipping
+        else ACStrategy.PER_TASK
+    )
+    if not characteristics.replicated_components:
+        lb = LBStrategy.NONE
+        if characteristics.state_persistence:
+            notes.append(
+                "state persistence is moot without replication: load "
+                "balancing disabled (C3 = no)"
+            )
+    elif characteristics.state_persistence:
+        lb = LBStrategy.PER_TASK
+    else:
+        lb = LBStrategy.PER_JOB
+    ir = _TOLERANCE_TO_IR[characteristics.overhead_tolerance]
+    if ir is IRStrategy.PER_JOB and ac is ACStrategy.PER_TASK:
+        ir = IRStrategy.PER_TASK
+        notes.append(
+            "requested per-job idle resetting clamped to per-task: the "
+            "application does not allow job skipping, so admission control "
+            "runs per task and must keep periodic contributions reserved "
+            "(invalid combination per paper section 4.5)"
+        )
+    combo = StrategyCombo(ac, ir, lb)
+    combo.validate()
+    return combo, notes

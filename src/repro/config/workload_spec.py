@@ -1,0 +1,273 @@
+"""Workload specification files.
+
+The paper's developer "first provides a workload specification file which
+describes each end-to-end task and where its subtasks execute".  Two
+formats are supported:
+
+**JSON** (canonical, round-trippable)::
+
+    {
+      "manager": "task_manager",
+      "processors": ["app1", "app2"],
+      "tasks": [
+        {
+          "id": "P1", "kind": "periodic",
+          "deadline": 1.0, "period": 1.0, "phase": 0.0,
+          "subtasks": [
+            {"execution_time": 0.05, "processor": "app1",
+             "replicas": ["app2"]}
+          ]
+        }
+      ]
+    }
+
+**Text** (human-authorable, line based)::
+
+    processors app1 app2
+    manager task_manager
+    task P1 periodic deadline=1.0 period=1.0
+      subtask exec=0.05 on=app1 replicas=app2
+    task A1 aperiodic deadline=0.5
+      subtask exec=0.02 on=app2
+
+Comments (``#``) and blank lines are ignored in the text format.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Union
+
+from repro.errors import WorkloadSpecError
+from repro.sched.task import SubtaskSpec, TaskKind, TaskSpec
+from repro.workloads.model import DEFAULT_MANAGER_NODE, Workload
+
+
+# ----------------------------------------------------------------------
+# JSON format
+# ----------------------------------------------------------------------
+def workload_to_json(workload: Workload, indent: Optional[int] = 2) -> str:
+    """Serialize ``workload`` to the canonical JSON format."""
+    doc: Dict[str, Any] = {
+        "manager": workload.manager_node,
+        "processors": list(workload.app_nodes),
+        "tasks": [],
+    }
+    for task in workload.tasks:
+        entry: Dict[str, Any] = {
+            "id": task.task_id,
+            "kind": task.kind.value,
+            "deadline": task.deadline,
+            "phase": task.phase,
+            "subtasks": [
+                {
+                    "execution_time": s.execution_time,
+                    "processor": s.home,
+                    "replicas": list(s.replicas),
+                }
+                for s in task.subtasks
+            ],
+        }
+        if task.period is not None:
+            entry["period"] = task.period
+        doc["tasks"].append(entry)
+    return json.dumps(doc, indent=indent)
+
+
+def parse_workload_json(text: str) -> Workload:
+    """Parse the canonical JSON workload format."""
+    try:
+        doc = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise WorkloadSpecError(f"invalid JSON workload spec: {exc}") from None
+    if not isinstance(doc, dict):
+        raise WorkloadSpecError("workload spec must be a JSON object")
+    try:
+        processors = [str(p) for p in doc["processors"]]
+        raw_tasks = doc["tasks"]
+    except KeyError as exc:
+        raise WorkloadSpecError(f"workload spec missing key {exc}") from None
+    manager = str(doc.get("manager", DEFAULT_MANAGER_NODE))
+    tasks: List[TaskSpec] = []
+    for raw in raw_tasks:
+        tasks.append(_task_from_dict(raw))
+    return Workload(
+        tasks=tuple(tasks), app_nodes=tuple(processors), manager_node=manager
+    )
+
+
+def _task_from_dict(raw: Dict[str, Any]) -> TaskSpec:
+    try:
+        task_id = str(raw["id"])
+        kind = TaskKind(str(raw["kind"]).lower())
+        deadline = float(raw["deadline"])
+        raw_subtasks = raw["subtasks"]
+    except KeyError as exc:
+        raise WorkloadSpecError(f"task entry missing key {exc}") from None
+    except ValueError as exc:
+        raise WorkloadSpecError(f"bad task entry: {exc}") from None
+    subtasks = []
+    for index, raw_sub in enumerate(raw_subtasks):
+        try:
+            subtasks.append(
+                SubtaskSpec(
+                    index=index,
+                    execution_time=float(raw_sub["execution_time"]),
+                    home=str(raw_sub["processor"]),
+                    replicas=tuple(
+                        str(r) for r in raw_sub.get("replicas", ())
+                    ),
+                )
+            )
+        except KeyError as exc:
+            raise WorkloadSpecError(
+                f"task {task_id} subtask {index} missing key {exc}"
+            ) from None
+    period = raw.get("period")
+    return TaskSpec(
+        task_id=task_id,
+        kind=kind,
+        deadline=deadline,
+        subtasks=tuple(subtasks),
+        period=float(period) if period is not None else None,
+        phase=float(raw.get("phase", 0.0)),
+    )
+
+
+# ----------------------------------------------------------------------
+# Text format
+# ----------------------------------------------------------------------
+def parse_workload_text(text: str) -> Workload:
+    """Parse the line-based text workload format."""
+    processors: List[str] = []
+    manager = DEFAULT_MANAGER_NODE
+    tasks: List[TaskSpec] = []
+    current: Optional[Dict[str, Any]] = None
+
+    def finish_current() -> None:
+        nonlocal current
+        if current is None:
+            return
+        if not current["subtasks"]:
+            raise WorkloadSpecError(
+                f"task {current['id']} has no subtask lines"
+            )
+        tasks.append(
+            TaskSpec(
+                task_id=current["id"],
+                kind=current["kind"],
+                deadline=current["deadline"],
+                subtasks=tuple(current["subtasks"]),
+                period=current["period"],
+                phase=current["phase"],
+            )
+        )
+        current = None
+
+    for lineno, raw_line in enumerate(text.splitlines(), start=1):
+        line = raw_line.split("#", 1)[0].strip()
+        if not line:
+            continue
+        fields = line.split()
+        keyword = fields[0].lower()
+        if keyword == "processors":
+            processors.extend(fields[1:])
+        elif keyword == "manager":
+            if len(fields) != 2:
+                raise WorkloadSpecError(f"line {lineno}: manager takes one name")
+            manager = fields[1]
+        elif keyword == "task":
+            finish_current()
+            current = _parse_task_line(fields, lineno)
+        elif keyword == "subtask":
+            if current is None:
+                raise WorkloadSpecError(
+                    f"line {lineno}: subtask before any task line"
+                )
+            current["subtasks"].append(
+                _parse_subtask_line(fields, len(current["subtasks"]), lineno)
+            )
+        else:
+            raise WorkloadSpecError(
+                f"line {lineno}: unknown keyword {keyword!r}"
+            )
+    finish_current()
+    if not processors:
+        raise WorkloadSpecError("spec declares no processors")
+    return Workload(
+        tasks=tuple(tasks), app_nodes=tuple(processors), manager_node=manager
+    )
+
+
+def _kv_fields(fields: List[str], lineno: int) -> Dict[str, str]:
+    out: Dict[str, str] = {}
+    for field in fields:
+        if "=" not in field:
+            raise WorkloadSpecError(
+                f"line {lineno}: expected key=value, got {field!r}"
+            )
+        key, value = field.split("=", 1)
+        out[key.lower()] = value
+    return out
+
+
+def _parse_task_line(fields: List[str], lineno: int) -> Dict[str, Any]:
+    if len(fields) < 3:
+        raise WorkloadSpecError(
+            f"line {lineno}: task line needs 'task <id> <kind> key=value...'"
+        )
+    task_id = fields[1]
+    try:
+        kind = TaskKind(fields[2].lower())
+    except ValueError:
+        raise WorkloadSpecError(
+            f"line {lineno}: task kind must be periodic or aperiodic, "
+            f"got {fields[2]!r}"
+        ) from None
+    kv = _kv_fields(fields[3:], lineno)
+    if "deadline" not in kv:
+        raise WorkloadSpecError(f"line {lineno}: task needs deadline=")
+    return {
+        "id": task_id,
+        "kind": kind,
+        "deadline": float(kv["deadline"]),
+        "period": float(kv["period"]) if "period" in kv else None,
+        "phase": float(kv.get("phase", 0.0)),
+        "subtasks": [],
+    }
+
+
+def _parse_subtask_line(
+    fields: List[str], index: int, lineno: int
+) -> SubtaskSpec:
+    kv = _kv_fields(fields[1:], lineno)
+    if "exec" not in kv or "on" not in kv:
+        raise WorkloadSpecError(
+            f"line {lineno}: subtask needs exec= and on="
+        )
+    replicas = tuple(
+        r for r in kv.get("replicas", "").split(",") if r
+    )
+    return SubtaskSpec(
+        index=index,
+        execution_time=float(kv["exec"]),
+        home=kv["on"],
+        replicas=replicas,
+    )
+
+
+# ----------------------------------------------------------------------
+# File loading
+# ----------------------------------------------------------------------
+def load_workload(path: Union[str, Path]) -> Workload:
+    """Load a workload spec, dispatching on file extension.
+
+    ``.json`` files use the JSON format; anything else uses the text
+    format.
+    """
+    path = Path(path)
+    text = path.read_text()
+    if path.suffix.lower() == ".json":
+        return parse_workload_json(text)
+    return parse_workload_text(text)

@@ -1,0 +1,371 @@
+"""Admission Control (AC) component.
+
+One AC instance runs on the central task-manager processor.  It consumes
+"Task Arrive" events from the task effectors and "Idle Resetting" events
+from the idle resetters, runs the AUB admission test (paper equation 1)
+over the shared synthetic-utilization ledger, asks the LB component for
+placement plans when load balancing is enabled, and publishes "Accept" /
+"Reject" events back to the task effectors.
+
+Strategy semantics (paper section 4.2):
+
+* **AC per Task** — the admission test runs only at a periodic task's
+  first arrival; its synthetic-utilization contributions are *reserved for
+  the task's lifetime* (never reclaimed between jobs), which is efficient
+  but pessimistic.  Aperiodic tasks are always tested per arrival (each
+  aperiodic job is an independent single-release task).
+* **AC per Job** — every job is tested on arrival; contributions expire at
+  the job's absolute deadline (and may be reclaimed earlier by idle
+  resetting).  Requires the application to tolerate job skipping (C1).
+
+Admission work executes on a dispatch thread of the task-manager CPU, so
+concurrent arrivals serialize and queueing delay is measured honestly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.ccm.component import AttributeSpec, Component
+from repro.ccm.events import (
+    AcceptEvent,
+    IdleResettingEvent,
+    RejectEvent,
+    TOPIC_IDLE_RESETTING,
+    TOPIC_TASK_ARRIVE,
+    TaskArriveEvent,
+    accept_topic,
+    reject_topic,
+)
+from repro.ccm.ports import EventSinkPort, EventSourcePort, Facet, Receptacle
+from repro.core.cost_model import OP_ADMISSION_TEST, OP_IR_UPDATE, OP_LB_PLAN
+from repro.core.runtime import RuntimeEnv
+from repro.core.strategies import (
+    ACStrategy,
+    IRStrategy,
+    LBStrategy,
+    StrategyCombo,
+)
+from repro.cpu.thread import WorkItem
+from repro.errors import ComponentError
+from repro.sched.aub import RESERVED, AubAnalyzer, SyntheticUtilizationLedger
+from repro.sched.task import Job, TaskSpec
+
+
+@dataclass
+class TaskRecord:
+    """Per-task state kept by the admission controller."""
+
+    #: AC-per-Task cached admission decision (None until first decision).
+    admitted: Optional[bool] = None
+    #: Assignment fixed per task (AC per task, or LB per task).
+    assignment: Optional[Dict[int, str]] = None
+    jobs_seen: int = 0
+
+
+@dataclass(frozen=True)
+class AdmissionState:
+    """Facet object shared with the LB component: the live ledger and
+    analyzer (the LB must see the same synthetic utilizations the AC
+    admits against)."""
+
+    ledger: SyntheticUtilizationLedger
+    analyzer: AubAnalyzer
+
+
+class AdmissionControllerComponent(Component):
+    """AUB-based on-line admission control (strategies: per task/per job)."""
+
+    ATTRIBUTES = {
+        "ac_strategy": AttributeSpec(
+            str,
+            default="J",
+            validator=lambda v: v in ("T", "J"),
+            doc="T: admission test at first task arrival; J: per job.",
+        ),
+        "ir_strategy": AttributeSpec(
+            str,
+            default="N",
+            validator=lambda v: v in ("N", "T", "J"),
+            doc="Idle resetting scope; must be consistent with ac_strategy.",
+        ),
+        "lb_strategy": AttributeSpec(
+            str,
+            default="N",
+            validator=lambda v: v in ("N", "T", "J"),
+            doc="No-LB/LB-per-task/LB-per-job (the paper's AC attribute).",
+        ),
+    }
+
+    def __init__(self, name: str, env: RuntimeEnv) -> None:
+        super().__init__(name)
+        self.env = env
+        self.ledger: Optional[SyntheticUtilizationLedger] = None
+        self.analyzer: Optional[AubAnalyzer] = None
+        self._records: Dict[str, TaskRecord] = {}
+        self._source: Optional[EventSourcePort] = None
+        self._locator = Receptacle(self, "locator")
+        self._thread = None
+        self.admitted_jobs = 0
+        self.rejected_jobs = 0
+        self.idle_resets_applied = 0
+
+    # ------------------------------------------------------------------
+    # Strategy accessors
+    # ------------------------------------------------------------------
+    @property
+    def combo(self) -> StrategyCombo:
+        return StrategyCombo(
+            ACStrategy(self.get_attribute("ac_strategy")),
+            IRStrategy(self.get_attribute("ir_strategy")),
+            LBStrategy(self.get_attribute("lb_strategy")),
+        )
+
+    @property
+    def lb_enabled(self) -> bool:
+        return self.get_attribute("lb_strategy") != "N"
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def on_install(self, container) -> None:
+        self._source = EventSourcePort(self, "decisions")
+        arrive_sink = EventSinkPort(self, "task_arrive", self._on_task_arrive)
+        arrive_sink.subscribe(TOPIC_TASK_ARRIVE)
+        reset_sink = EventSinkPort(self, "idle_resetting", self._on_idle_reset)
+        reset_sink.subscribe(TOPIC_IDLE_RESETTING)
+
+    def provide_state_facet(self) -> Facet:
+        """The facet the LB component connects to (shared ledger)."""
+        if self.ledger is None:
+            self._initialize_state()
+        return Facet(self, "admission_state", AdmissionState(self.ledger, self.analyzer))
+
+    def connect_locator(self, facet: Facet) -> None:
+        """Wire the receptacle for 'Location' calls on the LB component."""
+        self._locator.connect(facet)
+
+    def provide_facet(self, port_name: str) -> Facet:
+        if port_name == "admission_state":
+            return self.provide_state_facet()
+        return super().provide_facet(port_name)
+
+    def connect_receptacle(self, port_name: str, facet: Facet) -> None:
+        if port_name == "locator":
+            self.connect_locator(facet)
+            return
+        super().connect_receptacle(port_name, facet)
+
+    def _initialize_state(self) -> None:
+        self.ledger = SyntheticUtilizationLedger(self.env.app_nodes)
+        self.analyzer = AubAnalyzer(self.ledger)
+
+    def on_activate(self) -> None:
+        self.combo.validate()
+        if self.lb_enabled and not self._locator.connected:
+            raise ComponentError(
+                f"AC {self.name!r}: lb_strategy="
+                f"{self.get_attribute('lb_strategy')!r} but no LB connected"
+            )
+        if self.ledger is None:
+            self._initialize_state()
+        self._thread = self.processor.new_thread(f"{self.name}.dispatch", 0.0)
+
+    # ------------------------------------------------------------------
+    # Task Arrive handling
+    # ------------------------------------------------------------------
+    def _on_task_arrive(self, event: TaskArriveEvent) -> None:
+        op = OP_LB_PLAN if self.lb_enabled else OP_ADMISSION_TEST
+        cost = self.env.cost_model.sample(op, self.env.cost_rng)
+        self.processor.submit(
+            self._thread,
+            WorkItem(cost, self._decide, event, label=f"admit:{event.job.task.task_id}"),
+        )
+
+    def _decide(self, event: TaskArriveEvent) -> None:
+        job = event.job
+        task = job.task
+        now = self.sim.now
+        if job.absolute_deadline <= now:
+            # Queueing at the AC (or a stale event) consumed the job's
+            # whole window; releasing it could not meet the deadline.
+            self._send_reject(event, "deadline expired before admission")
+            return
+        record = self._records.setdefault(task.task_id, TaskRecord())
+        record.jobs_seen += 1
+        per_task_ac = self.get_attribute("ac_strategy") == "T" and task.is_periodic
+        if per_task_ac and record.admitted is not None:
+            # Cached per-task decision: no admission test, but per-job load
+            # balancing may still relocate the reserved assignment.
+            if not record.admitted:
+                self._send_reject(event, "task rejected at first arrival")
+                return
+            if self.get_attribute("lb_strategy") == "J":
+                self._try_relocate_reserved(task, record)
+            self._send_accept(event, record.assignment)
+            return
+
+        assignment = self._propose_assignment(job, record, now)
+        if assignment is None:
+            admitted = False
+        else:
+            admitted = self._test_and_commit(job, assignment, per_task_ac, now)
+        if per_task_ac:
+            record.admitted = admitted
+            record.assignment = dict(assignment) if admitted else None
+        if admitted:
+            if self.get_attribute("lb_strategy") == "T" and task.is_periodic:
+                record.assignment = dict(assignment)
+            self._send_accept(event, assignment)
+        else:
+            self._send_reject(event, "AUB condition (1) would be violated")
+
+    def _propose_assignment(
+        self, job: Job, record: TaskRecord, now: float
+    ) -> Optional[Dict[int, str]]:
+        """Choose the assignment plan the admission test will evaluate."""
+        task = job.task
+        lb = self.get_attribute("lb_strategy")
+        if lb == "N":
+            return task.home_assignment()
+        if lb == "T" and task.is_periodic and record.assignment is not None:
+            return dict(record.assignment)
+        locator = self._locator()
+        return locator.location(job, now)
+
+    def _test_and_commit(
+        self,
+        job: Job,
+        assignment: Dict[int, str],
+        reserved: bool,
+        now: float,
+    ) -> bool:
+        """Run the admission test for ``assignment``; commit if it passes."""
+        task = job.task
+        visits = task.visited_processors(assignment)
+        contribs: Dict[str, float] = {}
+        for subtask in task.subtasks:
+            node = assignment[subtask.index]
+            contribs[node] = contribs.get(node, 0.0) + task.subtask_utilization(
+                subtask.index
+            )
+        if not self.analyzer.admissible(visits, contribs, now):
+            return False
+        job_index = RESERVED if reserved else job.index
+        for subtask in task.subtasks:
+            node = assignment[subtask.index]
+            self.ledger.add(
+                node,
+                (task.task_id, job_index, subtask.index),
+                task.subtask_utilization(subtask.index),
+                now,
+            )
+        registry_key = (task.task_id, job_index)
+        expiry = None if reserved else job.absolute_deadline
+        self.analyzer.register(registry_key, visits, expiry)
+        if not reserved:
+            self.sim.schedule_at(
+                job.absolute_deadline, self._expire_job, job, assignment
+            )
+        return True
+
+    def _expire_job(self, job: Job, assignment: Dict[int, str]) -> None:
+        """Deadline expiry: the job leaves the current task set."""
+        now = self.sim.now
+        task = job.task
+        for subtask in task.subtasks:
+            node = assignment[subtask.index]
+            self.ledger.remove(node, (task.task_id, job.index, subtask.index), now)
+        self.analyzer.unregister((task.task_id, job.index))
+
+    def _try_relocate_reserved(self, task: TaskSpec, record: TaskRecord) -> None:
+        """AC-per-task + LB-per-job: move the lifetime reservation if the
+        LB finds a better admissible placement for this job."""
+        locator = self._locator()
+        now = self.sim.now
+        proposed = locator.location_for_reserved(task, record.assignment, now)
+        if proposed is None or proposed == record.assignment:
+            return
+        old = record.assignment
+        for subtask in task.subtasks:
+            self.ledger.remove(
+                old[subtask.index], (task.task_id, RESERVED, subtask.index), now
+            )
+        for subtask in task.subtasks:
+            self.ledger.add(
+                proposed[subtask.index],
+                (task.task_id, RESERVED, subtask.index),
+                task.subtask_utilization(subtask.index),
+                now,
+            )
+        self.analyzer.register(
+            (task.task_id, RESERVED), task.visited_processors(proposed), None
+        )
+        record.assignment = dict(proposed)
+
+    # ------------------------------------------------------------------
+    # Decision publication
+    # ------------------------------------------------------------------
+    def _send_accept(self, event: TaskArriveEvent, assignment: Dict[int, str]) -> None:
+        job = event.job
+        self.admitted_jobs += 1
+        release_node = assignment[0]
+        self.tracer.record(
+            self.sim.now,
+            "ac.accept",
+            self.node,
+            task=job.task.task_id,
+            job=job.index,
+            release_node=release_node,
+        )
+        self._source.push(
+            release_node,
+            accept_topic(release_node),
+            AcceptEvent(
+                job=job,
+                assignment=dict(assignment),
+                arrival_node=event.arrival_node,
+                release_node=release_node,
+            ),
+        )
+
+    def _send_reject(self, event: TaskArriveEvent, reason: str) -> None:
+        job = event.job
+        self.rejected_jobs += 1
+        self.tracer.record(
+            self.sim.now,
+            "ac.reject",
+            self.node,
+            task=job.task.task_id,
+            job=job.index,
+            reason=reason,
+        )
+        self._source.push(
+            event.arrival_node,
+            reject_topic(event.arrival_node),
+            RejectEvent(job=job, arrival_node=event.arrival_node, reason=reason),
+        )
+
+    # ------------------------------------------------------------------
+    # Idle Resetting handling
+    # ------------------------------------------------------------------
+    def _on_idle_reset(self, event: IdleResettingEvent) -> None:
+        cost = self.env.cost_model.sample(OP_IR_UPDATE, self.env.cost_rng)
+        self.env.overhead.record_ir_ac_side(cost)
+        self.processor.submit(
+            self._thread,
+            WorkItem(cost, self._apply_idle_reset, event, label="idle_reset"),
+        )
+
+    def _apply_idle_reset(self, event: IdleResettingEvent) -> None:
+        now = self.sim.now
+        for task_id, job_index, subtask_index, node in event.entries:
+            removed = self.ledger.remove(
+                node, (task_id, job_index, subtask_index), now
+            )
+            if removed:
+                self.idle_resets_applied += 1
+        self.tracer.record(
+            now, "ac.idle_reset", self.node, entries=len(event.entries)
+        )

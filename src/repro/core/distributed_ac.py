@@ -1,0 +1,455 @@
+"""Decentralized admission control — the paper's sketched extension.
+
+Paper section 3 adopts a centralized AC/LB architecture but notes:
+
+    "In a distributed architecture the AC components on multiple
+    processors may need to coordinate and synchronize with each other in
+    order to make correct decisions, because admitting an end-to-end task
+    may affect the schedulability of other tasks located on the multiple
+    affected processors. ... our real-time component middleware approach
+    can be extended to use a more distributed architecture."
+
+This module implements that extension so the trade-off can be measured:
+one :class:`DistributedAdmissionControllerComponent` per application
+processor, coordinating through a two-phase reserve/commit protocol over
+the federated event channel.
+
+Correctness without global state
+--------------------------------
+A local AC cannot evaluate AUB condition (1) for remote tasks, so commits
+convert each admitted task's residual slack into **local utilization
+caps**: after admitting task T with post-admission utilizations ``U_j``
+over its k visited processors, each participant j stores the cap
+
+    cap_j(T) = f_inverse( f(U_j) + (1 - sum_i f(U_i)) / k )
+
+and thereafter refuses any reservation that would push ``U_j`` above any
+live cap.  Every admitted task's condition therefore keeps holding no
+matter what other coordinators admit — at the price of conservatism
+(slack is partitioned instead of shared) and of two extra network phases
+per admission.  The ablation benchmark quantifies both penalties against
+the paper's centralized design.
+
+Scope: this extension prototype supports AC-per-job with no idle
+resetting and no load balancing (home assignments), the configuration
+where the admission mathematics dominates.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.ccm.component import AttributeSpec, Component
+from repro.ccm.events import (
+    AcceptEvent,
+    RejectEvent,
+    TOPIC_TASK_ARRIVE,
+    TaskArriveEvent,
+    accept_topic,
+    reject_topic,
+)
+from repro.ccm.ports import EventSinkPort, EventSourcePort
+from repro.core.cost_model import OP_ADMISSION_TEST
+from repro.core.runtime import RuntimeEnv
+from repro.cpu.thread import WorkItem
+from repro.errors import ComponentError
+from repro.sched.aub import EPSILON, aub_term, aub_term_inverse
+from repro.sched.task import Job
+
+#: Topics of the two-phase coordination protocol.
+TOPIC_RESERVE = "dac_reserve"
+TOPIC_VOTE = "dac_vote"
+TOPIC_COMMIT = "dac_commit"
+TOPIC_ABORT = "dac_abort"
+
+
+@dataclass(frozen=True)
+class ReserveRequest:
+    """Phase 1: coordinator asks a participant to lock utilization."""
+
+    txn: int
+    coordinator: str
+    job_key: Tuple[str, int]
+    delta: float
+    expiry: float
+
+
+@dataclass(frozen=True)
+class Vote:
+    """Participant's reply: locked (with post-lock utilization) or refused."""
+
+    txn: int
+    node: str
+    granted: bool
+    post_utilization: float = 0.0
+
+
+@dataclass(frozen=True)
+class Outcome:
+    """Phase 2: commit (with this participant's cap) or abort."""
+
+    txn: int
+    job_key: Tuple[str, int]
+    commit: bool
+    cap: float = 1.0
+    expiry: float = 0.0
+
+
+@dataclass
+class _Transaction:
+    """Coordinator-side state of one in-flight admission."""
+
+    job: Job
+    event: TaskArriveEvent
+    participants: List[str]
+    deltas: Dict[str, float]
+    votes: Dict[str, Vote] = field(default_factory=dict)
+
+
+class DistributedAdmissionControllerComponent(Component):
+    """Per-processor admission controller with two-phase coordination."""
+
+    ATTRIBUTES = {
+        "processor_id": AttributeSpec(
+            str, required=True, doc="Application processor this AC guards."
+        ),
+    }
+
+    _txn_counter = itertools.count(1)
+
+    def __init__(self, name: str, env: RuntimeEnv) -> None:
+        super().__init__(name)
+        self.env = env
+        #: Live local contributions: job key -> utilization on this node.
+        self._contribs: Dict[Tuple[str, int], float] = {}
+        #: Pending phase-1 locks: txn -> utilization.
+        self._locks: Dict[int, float] = {}
+        #: Live caps from committed tasks: job key -> max allowed U here.
+        self._caps: Dict[Tuple[str, int], float] = {}
+        self._transactions: Dict[int, _Transaction] = {}
+        self._source: Optional[EventSourcePort] = None
+        self._thread = None
+        self.admitted_jobs = 0
+        self.rejected_jobs = 0
+        self.reserve_messages = 0
+
+    # ------------------------------------------------------------------
+    # Local utilization view
+    # ------------------------------------------------------------------
+    @property
+    def utilization(self) -> float:
+        """Committed + locked synthetic utilization on this processor."""
+        return sum(self._contribs.values()) + sum(self._locks.values())
+
+    def _locally_admissible(self, delta: float) -> bool:
+        projected = self.utilization + delta
+        if projected >= 1.0 - EPSILON:
+            return False
+        live_caps = list(self._caps.values())
+        return all(projected <= cap + EPSILON for cap in live_caps)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def on_install(self, container) -> None:
+        self._source = EventSourcePort(self, "coordination")
+        EventSinkPort(self, "task_arrive", self._on_task_arrive).subscribe(
+            TOPIC_TASK_ARRIVE
+        )
+        EventSinkPort(self, "reserve", self._on_reserve).subscribe(TOPIC_RESERVE)
+        EventSinkPort(self, "vote", self._on_vote).subscribe(TOPIC_VOTE)
+        EventSinkPort(self, "outcome", self._on_outcome).subscribe(TOPIC_COMMIT)
+
+    def on_activate(self) -> None:
+        if self.get_attribute("processor_id") != self.node:
+            raise ComponentError(
+                f"distributed AC {self.name!r}: processor_id mismatch"
+            )
+        self._thread = self.processor.new_thread(f"{self.name}.dispatch", 0.0)
+
+    # ------------------------------------------------------------------
+    # Coordinator role
+    # ------------------------------------------------------------------
+    def _on_task_arrive(self, event: TaskArriveEvent) -> None:
+        cost = self.env.cost_model.sample(OP_ADMISSION_TEST, self.env.cost_rng)
+        self.processor.submit(
+            self._thread, WorkItem(cost, self._coordinate, event)
+        )
+
+    def _coordinate(self, event: TaskArriveEvent) -> None:
+        job = event.job
+        task = job.task
+        now = self.sim.now
+        if job.absolute_deadline <= now:
+            self._reject(event, "deadline expired before admission")
+            return
+        assignment = task.home_assignment()
+        deltas: Dict[str, float] = {}
+        for subtask in task.subtasks:
+            node = assignment[subtask.index]
+            deltas[node] = deltas.get(node, 0.0) + task.subtask_utilization(
+                subtask.index
+            )
+        txn = next(self._txn_counter)
+        transaction = _Transaction(
+            job=job,
+            event=event,
+            participants=sorted(deltas),
+            deltas=deltas,
+        )
+        self._transactions[txn] = transaction
+        for node in transaction.participants:
+            request = ReserveRequest(
+                txn=txn,
+                coordinator=self.node,
+                job_key=job.key,
+                delta=deltas[node],
+                expiry=job.absolute_deadline,
+            )
+            self.reserve_messages += 1
+            self._source.push(node, TOPIC_RESERVE, request)
+
+    def _on_vote(self, vote: Vote) -> None:
+        transaction = self._transactions.get(vote.txn)
+        if transaction is None:
+            return
+        transaction.votes[vote.node] = vote
+        if len(transaction.votes) < len(transaction.participants):
+            return
+        del self._transactions[vote.txn]
+        self._finish_transaction(vote.txn, transaction)
+
+    def _finish_transaction(self, txn: int, transaction: _Transaction) -> None:
+        votes = transaction.votes
+        all_granted = all(v.granted for v in votes.values())
+        condition_sum = 0.0
+        if all_granted:
+            task = transaction.job.task
+            assignment = task.home_assignment()
+            post = {node: votes[node].post_utilization for node in votes}
+            condition_sum = sum(
+                aub_term(post[assignment[s.index]]) for s in task.subtasks
+            )
+            all_granted = condition_sum <= 1.0 + EPSILON
+        if not all_granted:
+            for node in transaction.participants:
+                self._source.push(
+                    node,
+                    TOPIC_COMMIT,
+                    Outcome(txn=txn, job_key=transaction.job.key, commit=False),
+                )
+            self._reject(transaction.event, "reserve phase refused")
+            return
+        # Partition the residual slack equally among visited processors
+        # and convert each share into a local utilization cap.
+        k = len(transaction.participants)
+        slack_share = (1.0 - condition_sum) / k
+        for node in transaction.participants:
+            post_u = transaction.votes[node].post_utilization
+            cap = aub_term_inverse(aub_term(post_u) + max(0.0, slack_share))
+            self._source.push(
+                node,
+                TOPIC_COMMIT,
+                Outcome(
+                    txn=txn,
+                    job_key=transaction.job.key,
+                    commit=True,
+                    cap=cap,
+                    expiry=transaction.job.absolute_deadline,
+                ),
+            )
+        self.admitted_jobs += 1
+        job = transaction.job
+        release_node = job.task.home_assignment()[0]
+        self._source.push(
+            release_node,
+            accept_topic(release_node),
+            AcceptEvent(
+                job=job,
+                assignment=job.task.home_assignment(),
+                arrival_node=transaction.event.arrival_node,
+                release_node=release_node,
+            ),
+        )
+
+    def _reject(self, event: TaskArriveEvent, reason: str) -> None:
+        self.rejected_jobs += 1
+        self._source.push(
+            event.arrival_node,
+            reject_topic(event.arrival_node),
+            RejectEvent(
+                job=event.job, arrival_node=event.arrival_node, reason=reason
+            ),
+        )
+
+    # ------------------------------------------------------------------
+    # Participant role
+    # ------------------------------------------------------------------
+    def _on_reserve(self, request: ReserveRequest) -> None:
+        cost = self.env.cost_model.sample(OP_ADMISSION_TEST, self.env.cost_rng)
+        self.processor.submit(
+            self._thread, WorkItem(cost, self._vote_on, request)
+        )
+
+    def _vote_on(self, request: ReserveRequest) -> None:
+        granted = self._locally_admissible(request.delta)
+        if granted:
+            self._locks[request.txn] = request.delta
+        vote = Vote(
+            txn=request.txn,
+            node=self.node,
+            granted=granted,
+            post_utilization=self.utilization if granted else 0.0,
+        )
+        self._source.push(request.coordinator, TOPIC_VOTE, vote)
+
+    def _on_outcome(self, outcome: Outcome) -> None:
+        locked = self._locks.pop(outcome.txn, None)
+        if not outcome.commit or locked is None:
+            return
+        self._contribs[outcome.job_key] = (
+            self._contribs.get(outcome.job_key, 0.0) + locked
+        )
+        previous_cap = self._caps.get(outcome.job_key)
+        cap = outcome.cap if previous_cap is None else min(previous_cap, outcome.cap)
+        self._caps[outcome.job_key] = cap
+        self.sim.schedule_at(
+            max(self.sim.now, outcome.expiry), self._expire, outcome.job_key
+        )
+
+    def _expire(self, job_key: Tuple[str, int]) -> None:
+        self._contribs.pop(job_key, None)
+        self._caps.pop(job_key, None)
+
+
+class DistributedMiddlewareSystem:
+    """A deployment using per-processor admission controllers.
+
+    Reuses the :class:`~repro.core.middleware.MiddlewareSystem` substrate
+    (processors, network, TEs, subtask components) but replaces the
+    central AC/LB pair with one distributed AC per application processor.
+    Fixed configuration: AC per job, no idle resetting, no load balancing
+    (see module docstring).
+    """
+
+    def __init__(self, workload, seed: int = 0, cost_model=None,
+                 delay_model=None, aperiodic_interarrival_factor: float = 2.0):
+        from repro.core.middleware import MiddlewareSystem
+        from repro.core.strategies import StrategyCombo
+
+        self._base = MiddlewareSystem(
+            workload,
+            StrategyCombo.from_label("J_N_N"),
+            cost_model=cost_model,
+            seed=seed,
+            delay_model=delay_model,
+            aperiodic_interarrival_factor=aperiodic_interarrival_factor,
+            auto_deploy=False,
+        )
+        env = self._base.env
+        containers = self._base.containers
+        # Task effectors pointed at their local controllers.
+        for node in workload.app_nodes:
+            te_name = f"TE-{node}"
+            from repro.core.task_effector import TaskEffectorComponent
+
+            te = TaskEffectorComponent(te_name, env)
+            te.set_configuration(
+                {
+                    "processor_id": node,
+                    "release_mode": "per_job",
+                    "ac_node": node,
+                }
+            )
+            containers[node].install(te)
+        self.acs: Dict[str, DistributedAdmissionControllerComponent] = {}
+        for node in workload.app_nodes:
+            ac = DistributedAdmissionControllerComponent(f"DAC-{node}", env)
+            ac.set_configuration({"processor_id": node})
+            containers[node].install(ac)
+            self.acs[node] = ac
+        self._deploy_subtasks(workload, env, containers)
+        for container in containers.values():
+            container.activate_all()
+        self.env = env
+        self.sim = self._base.sim
+        self.metrics = self._base.metrics
+        self.network = self._base.network
+        self.workload = workload
+
+    def _deploy_subtasks(self, workload, env, containers) -> None:
+        from repro.core.subtask import FISubtaskComponent, LastSubtaskComponent
+        from repro.sched.edms import edms_priority
+
+        for task in workload.tasks:
+            priority = edms_priority(task)
+            last_index = task.n_subtasks - 1
+            for subtask in task.subtasks:
+                cls = (
+                    LastSubtaskComponent
+                    if subtask.index == last_index
+                    else FISubtaskComponent
+                )
+                # Home placement only (no LB in this extension).
+                component = cls(f"{task.task_id}.s{subtask.index}@{subtask.home}", env)
+                component.set_configuration(
+                    {
+                        "task_id": task.task_id,
+                        "subtask_index": subtask.index,
+                        "execution_time": subtask.execution_time,
+                        "priority": priority,
+                        "ir_mode": "N",
+                    }
+                )
+                containers[subtask.home].install(component)
+
+    def run(self, duration: float, drain: bool = True):
+        """Run the workload; returns the base SystemResults but with the
+        distributed controllers' state summarized."""
+        from repro.workloads.arrivals import build_arrival_plan
+
+        plan = build_arrival_plan(
+            self.workload,
+            duration,
+            self._base.rngs.stream("arrivals"),
+            self._base.aperiodic_interarrival_factor,
+        )
+        arrived = self._base.schedule_arrivals(plan)
+        end = duration
+        if drain:
+            end += max(t.deadline for t in self.workload.tasks)
+        self.sim.run(until=end)
+        return DistributedRunResults(
+            duration=end,
+            metrics=self.metrics,
+            arrived_jobs=arrived,
+            admitted_jobs=sum(ac.admitted_jobs for ac in self.acs.values()),
+            rejected_jobs=sum(ac.rejected_jobs for ac in self.acs.values()),
+            reserve_messages=sum(ac.reserve_messages for ac in self.acs.values()),
+            messages_sent=self.network.messages_sent,
+            final_utilization={n: ac.utilization for n, ac in self.acs.items()},
+        )
+
+
+@dataclass
+class DistributedRunResults:
+    """Results of one distributed-AC run."""
+
+    duration: float
+    metrics: object
+    arrived_jobs: int
+    admitted_jobs: int
+    rejected_jobs: int
+    reserve_messages: int
+    messages_sent: int
+    final_utilization: Dict[str, float]
+
+    @property
+    def accepted_utilization_ratio(self) -> float:
+        return self.metrics.accepted_utilization_ratio
+
+    @property
+    def deadline_misses(self) -> int:
+        return self.metrics.latency.deadline_misses

@@ -1,0 +1,286 @@
+"""MiddlewareSystem: assemble and run a complete distributed deployment.
+
+This facade builds the paper's Figure 1 architecture for a given workload
+and strategy combination: a task-manager processor hosting the AC and LB
+components, application processors each hosting a TE and an IR component,
+and one F/I or Last Subtask component per (task, stage, eligible
+processor).  It then drives the workload's arrival plan through the task
+effectors and collects results.
+
+It is both the programmatic public API (used directly by the examples and
+experiments) and the runtime the DAnCE-lite deployment pipeline targets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.ccm.container import Container
+from repro.core.admission_controller import AdmissionControllerComponent
+from repro.core.cost_model import CostModel
+from repro.core.idle_resetter import IdleResetterComponent
+from repro.core.load_balancer import LoadBalancerComponent
+from repro.core.runtime import RuntimeEnv
+from repro.core.strategies import ACStrategy, LBStrategy, StrategyCombo
+from repro.core.subtask import FISubtaskComponent, LastSubtaskComponent
+from repro.core.task_effector import TaskEffectorComponent
+from repro.cpu.processor import Processor
+from repro.errors import ConfigurationError
+from repro.metrics.overhead import OverheadAccounting
+from repro.metrics.ratio import MetricsCollector
+from repro.net.federation import FederatedEventChannel
+from repro.net.latency import DelayModel
+from repro.net.network import Network
+from repro.sched.edms import edms_priority
+from repro.sched.task import Job, TaskSpec
+from repro.sim.kernel import Simulator
+from repro.sim.rng import RngRegistry
+from repro.sim.tracing import Tracer
+from repro.workloads.arrivals import ArrivalPlan, build_arrival_plan
+from repro.workloads.model import Workload
+
+
+@dataclass
+class SystemResults:
+    """Everything an experiment needs from one completed run."""
+
+    combo_label: str
+    duration: float
+    metrics: MetricsCollector
+    overhead: OverheadAccounting
+    cpu_utilization: Dict[str, float]
+    final_synthetic_utilization: Dict[str, float]
+    events_executed: int
+    messages_sent: int
+    arrived_jobs: int
+
+    @property
+    def accepted_utilization_ratio(self) -> float:
+        return self.metrics.accepted_utilization_ratio
+
+    @property
+    def deadline_misses(self) -> int:
+        return self.metrics.latency.deadline_misses
+
+
+class MiddlewareSystem:
+    """A fully wired middleware deployment over a simulated testbed."""
+
+    def __init__(
+        self,
+        workload: Workload,
+        combo: StrategyCombo,
+        cost_model: Optional[CostModel] = None,
+        seed: int = 0,
+        trace: bool = False,
+        delay_model: Optional[DelayModel] = None,
+        aperiodic_interarrival_factor: float = 2.0,
+        auto_deploy: bool = True,
+    ) -> None:
+        combo.validate()
+        self.workload = workload
+        self.combo = combo
+        self.cost_model = cost_model or CostModel()
+        self.aperiodic_interarrival_factor = aperiodic_interarrival_factor
+        self.sim = Simulator()
+        self.rngs = RngRegistry(seed)
+        self.tracer = Tracer(enabled=trace)
+        self.network = Network(self.sim, self.rngs.stream("network"), delay_model)
+        self.federation = FederatedEventChannel(self.network)
+        self.metrics = MetricsCollector()
+        self.overhead = OverheadAccounting()
+        self.processors: Dict[str, Processor] = {}
+        self.containers: Dict[str, Container] = {}
+
+        self.env = RuntimeEnv(
+            sim=self.sim,
+            network=self.network,
+            federation=self.federation,
+            combo=combo,
+            cost_model=self.cost_model,
+            rngs=self.rngs,
+            metrics=self.metrics,
+            overhead=self.overhead,
+            tracer=self.tracer,
+            manager_node=workload.manager_node,
+            app_nodes=list(workload.app_nodes),
+            tasks={t.task_id: t for t in workload.tasks},
+        )
+        self._build_infrastructure()
+        self.ac: Optional[AdmissionControllerComponent] = None
+        self.lb: Optional[LoadBalancerComponent] = None
+        if auto_deploy:
+            self._deploy_services()
+            self._deploy_application()
+            self._activate()
+        self._ran = False
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def _build_infrastructure(self) -> None:
+        for node in (self.workload.manager_node,) + tuple(self.workload.app_nodes):
+            processor = Processor(self.sim, node)
+            self.processors[node] = processor
+            self.federation.add_node(node)
+            self.containers[node] = Container(processor, self.federation, self.tracer)
+
+    def _deploy_services(self) -> None:
+        manager = self.containers[self.workload.manager_node]
+        self.ac = AdmissionControllerComponent("Central-AC", self.env)
+        self.ac.set_configuration(  # type: ignore[union-attr]
+            {
+                "ac_strategy": self.combo.ac.value,
+                "ir_strategy": self.combo.ir.value,
+                "lb_strategy": self.combo.lb.value,
+            }
+        )
+        manager.install(self.ac)
+        if self.combo.lb is not LBStrategy.NONE:
+            self.lb = LoadBalancerComponent("Central-LB", self.env)
+            self.lb.set_configuration({"strategy": self.combo.lb.value})
+            manager.install(self.lb)
+            self.lb.connect_admission_state(self.ac.provide_state_facet())
+            self.ac.connect_locator(self.lb.provide_location_facet())
+
+        # The TE holds every job for an AC round trip unless both the
+        # admission decision and the placement are fixed per task.
+        if (
+            self.combo.ac is ACStrategy.PER_TASK
+            and self.combo.lb is not LBStrategy.PER_JOB
+        ):
+            release_mode = "per_task"
+        else:
+            release_mode = "per_job"
+
+        for node in self.workload.app_nodes:
+            container = self.containers[node]
+            te = TaskEffectorComponent(f"TE-{node}", self.env)
+            te.set_configuration(
+                {"processor_id": node, "release_mode": release_mode}
+            )
+            container.install(te)
+            ir = IdleResetterComponent(f"IR-{node}", self.env)
+            ir.set_configuration(
+                {"processor_id": node, "strategy": self.combo.ir.value}
+            )
+            container.install(ir)
+
+    def _deploy_application(self) -> None:
+        ir_facets = {
+            node: self.containers[node].lookup(f"IR-{node}").provide_complete_facet()
+            for node in self.workload.app_nodes
+        }
+        for task in self.workload.tasks:
+            priority = edms_priority(task)
+            last_index = task.n_subtasks - 1
+            for subtask in task.subtasks:
+                cls = (
+                    LastSubtaskComponent
+                    if subtask.index == last_index
+                    else FISubtaskComponent
+                )
+                for node in subtask.eligible:
+                    name = f"{task.task_id}.s{subtask.index}@{node}"
+                    component = cls(name, self.env)
+                    component.set_configuration(
+                        {
+                            "task_id": task.task_id,
+                            "subtask_index": subtask.index,
+                            "execution_time": subtask.execution_time,
+                            "priority": priority,
+                            "ir_mode": self.combo.ir.value,
+                        }
+                    )
+                    self.containers[node].install(component)
+                    component.connect_ir(ir_facets[node])
+
+    def _activate(self) -> None:
+        for container in self.containers.values():
+            container.activate_all()
+
+    def finish_deployment(self) -> None:
+        """Activate all containers after an external (DAnCE-lite) deployment
+        populated them; requires an AC component to have been installed."""
+        if self.ac is None:
+            raise ConfigurationError(
+                "finish_deployment: no admission controller was installed"
+            )
+        self._activate()
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def schedule_arrivals(self, plan: ArrivalPlan) -> int:
+        """Schedule every arrival in ``plan``; returns the job count."""
+        count = 0
+        for arrival_time, task_id, job_index in plan.events():
+            task = self.env.tasks[task_id]
+            self.sim.schedule_at(
+                arrival_time, self._arrive, task, job_index, arrival_time
+            )
+            count += 1
+        return count
+
+    def _arrive(self, task: TaskSpec, job_index: int, arrival_time: float) -> None:
+        arrival_node = task.subtasks[0].home
+        job = Job(
+            task=task,
+            index=job_index,
+            arrival_time=arrival_time,
+            arrival_node=arrival_node,
+        )
+        self.env.task_effectors[arrival_node].task_arrived(job)
+
+    def run(self, duration: float, drain: bool = True) -> SystemResults:
+        """Generate arrivals over ``duration`` seconds and run the system.
+
+        With ``drain=True`` the simulation continues past the arrival
+        horizon by the longest task deadline, so late-arriving jobs can
+        complete and their contributions expire.
+        """
+        if self._ran:
+            raise ConfigurationError("this system instance already ran")
+        self._ran = True
+        plan = build_arrival_plan(
+            self.workload,
+            duration,
+            self.rngs.stream("arrivals"),
+            self.aperiodic_interarrival_factor,
+        )
+        arrived = self.schedule_arrivals(plan)
+        end = duration
+        if drain:
+            end += max(t.deadline for t in self.workload.tasks)
+        self.sim.run(until=end)
+        return self._results(end, arrived)
+
+    def run_plan(self, plan: ArrivalPlan, drain: bool = True) -> SystemResults:
+        """Run a pre-built arrival plan (for paired strategy comparisons
+        on identical traces)."""
+        if self._ran:
+            raise ConfigurationError("this system instance already ran")
+        self._ran = True
+        arrived = self.schedule_arrivals(plan)
+        end = plan.horizon
+        if drain:
+            end += max(t.deadline for t in self.workload.tasks)
+        self.sim.run(until=end)
+        return self._results(end, arrived)
+
+    def _results(self, end: float, arrived: int) -> SystemResults:
+        return SystemResults(
+            combo_label=self.combo.label,
+            duration=end,
+            metrics=self.metrics,
+            overhead=self.overhead,
+            cpu_utilization={
+                node: proc.utilization(end)
+                for node, proc in self.processors.items()
+            },
+            final_synthetic_utilization=self.ac.ledger.snapshot(),
+            events_executed=self.sim.events_executed,
+            messages_sent=self.network.messages_sent,
+            arrived_jobs=arrived,
+        )

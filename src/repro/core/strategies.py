@@ -1,0 +1,109 @@
+"""Service strategies and their valid combinations (paper sections 4-4.5).
+
+Each of the three services has strategy axes:
+
+* Admission Control: **per task** (test only at first arrival) or
+  **per job** (test every job; requires job-skipping tolerance, C1).
+* Idle Resetting: **none**, **per task** (reset completed *aperiodic*
+  subjobs only) or **per job** (also reset completed *periodic* subjobs).
+* Load Balancing: **none**, **per task** (assign once at first arrival;
+  for state-persistent tasks, C2) or **per job** (reassign every job).
+
+Of the 18 combinations, AC-per-Task with IR-per-Job is contradictory
+(per-task admission must keep periodic contributions reserved; per-job
+resetting removes them), eliminating 3 combinations and leaving the 15 the
+paper evaluates.  Labels follow the paper's ``AC_IR_LB`` tuple notation,
+e.g. ``J_T_N``.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.errors import ConfigurationError, InvalidStrategyCombination
+
+
+class ACStrategy(enum.Enum):
+    """When the admission test runs."""
+
+    PER_TASK = "T"
+    PER_JOB = "J"
+
+
+class IRStrategy(enum.Enum):
+    """Which completed subjobs the idle-resetting rule reclaims."""
+
+    NONE = "N"
+    PER_TASK = "T"
+    PER_JOB = "J"
+
+
+class LBStrategy(enum.Enum):
+    """When subtask-to-processor assignments may change."""
+
+    NONE = "N"
+    PER_TASK = "T"
+    PER_JOB = "J"
+
+
+@dataclass(frozen=True)
+class StrategyCombo:
+    """One configuration of the three services."""
+
+    ac: ACStrategy
+    ir: IRStrategy
+    lb: LBStrategy
+
+    @property
+    def label(self) -> str:
+        """The paper's tuple notation, e.g. ``"J_J_T"``."""
+        return f"{self.ac.value}_{self.ir.value}_{self.lb.value}"
+
+    @property
+    def is_valid(self) -> bool:
+        """False exactly for the contradictory AC-per-Task + IR-per-Job."""
+        return not (self.ac is ACStrategy.PER_TASK and self.ir is IRStrategy.PER_JOB)
+
+    def validate(self) -> "StrategyCombo":
+        """Raise :class:`InvalidStrategyCombination` if invalid; else self."""
+        if not self.is_valid:
+            raise InvalidStrategyCombination(
+                f"combination {self.label} is invalid: per-job idle resetting "
+                "removes completed periodic subjob contributions, but per-task "
+                "admission control requires them to stay reserved for the "
+                "task's lifetime (paper section 4.5)"
+            )
+        return self
+
+    @classmethod
+    def from_label(cls, label: str) -> "StrategyCombo":
+        """Parse a ``"T_N_J"``-style label (as printed in the figures)."""
+        parts = label.strip().upper().split("_")
+        if len(parts) != 3:
+            raise ConfigurationError(
+                f"strategy label must have three parts like 'J_T_N', got {label!r}"
+            )
+        try:
+            return cls(ACStrategy(parts[0]), IRStrategy(parts[1]), LBStrategy(parts[2]))
+        except ValueError as exc:
+            raise ConfigurationError(f"bad strategy label {label!r}: {exc}") from None
+
+    def __str__(self) -> str:
+        return self.label
+
+
+def all_combinations() -> List[StrategyCombo]:
+    """All 18 combinations, in the paper's figure order (AC, IR, LB)."""
+    return [
+        StrategyCombo(ac, ir, lb)
+        for ac, ir, lb in itertools.product(ACStrategy, IRStrategy, LBStrategy)
+    ]
+
+
+def valid_combinations() -> List[StrategyCombo]:
+    """The 15 valid combinations, in the order of the paper's Figures 5/6:
+    T_N_N, T_N_T, T_N_J, T_T_N, ..., J_J_J."""
+    return [combo for combo in all_combinations() if combo.is_valid]

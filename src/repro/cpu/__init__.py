@@ -1,0 +1,20 @@
+"""Processor substrate: preemptive fixed-priority CPU simulation.
+
+Each simulated machine from the paper's testbed is a
+:class:`~repro.cpu.processor.Processor` that dispatches
+:class:`~repro.cpu.thread.DispatchThread` work under preemptive
+fixed-priority scheduling.  End-to-end Deadline Monotonic Scheduling (EDMS)
+is realized by giving each subtask component's dispatch thread a priority
+equal to its task's end-to-end deadline (smaller deadline = higher
+priority), exactly as the paper's configuration engine assigns priorities.
+
+The *idle detector* from the paper's Idle Resetting service maps onto a
+lowest-priority thread (``priority=+inf``): its work only runs when no
+application subtask is ready, which reproduces the paper's "runs when the
+processor is idle" semantics without a special-case hook.
+"""
+
+from repro.cpu.processor import Processor
+from repro.cpu.thread import DispatchThread, WorkItem
+
+__all__ = ["Processor", "DispatchThread", "WorkItem"]

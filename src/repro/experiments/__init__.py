@@ -1,0 +1,33 @@
+"""Experiment runners: one module per paper table/figure.
+
+* :mod:`repro.experiments.figure5` — accepted utilization ratio of all 15
+  valid strategy combinations on random workloads (section 7.1).
+* :mod:`repro.experiments.figure6` — LB strategy comparison on imbalanced
+  workloads (section 7.2).
+* :mod:`repro.experiments.figure8` — service overhead decomposition table
+  (section 7.3).
+* :mod:`repro.experiments.table1` — criteria-to-strategy mapping.
+* :mod:`repro.experiments.ablation` — AUB vs Deferrable Server admission.
+
+Each runner takes explicit duration/set-count/seed parameters so tests can
+run scaled-down versions while benchmarks run paper-scale ones.
+"""
+
+from repro.experiments.figure5 import Figure5Result, run_figure5
+from repro.experiments.figure6 import Figure6Result, run_figure6
+from repro.experiments.figure8 import Figure8Result, run_figure8
+from repro.experiments.table1 import Table1Row, run_table1
+from repro.experiments.ablation import AblationResult, run_aub_vs_deferrable
+
+__all__ = [
+    "Figure5Result",
+    "run_figure5",
+    "Figure6Result",
+    "run_figure6",
+    "Figure8Result",
+    "run_figure8",
+    "Table1Row",
+    "run_table1",
+    "AblationResult",
+    "run_aub_vs_deferrable",
+]

@@ -1,0 +1,122 @@
+"""Disturbance injection: probing the boundaries of the AUB guarantee.
+
+The paper's guarantee — every *admitted* job meets its end-to-end
+deadline — rests on three assumptions the simulator lets us break on
+purpose:
+
+* **Arrival bursts** do *not* break it: admission control is exactly the
+  mechanism that sheds excess load (:func:`run_burst_scenario`).
+* **Processor slowdown** breaks the known-execution-time assumption:
+  subjobs overrun their declared WCET and deadlines are missed
+  (:func:`run_slowdown_scenario`).
+* **Network congestion** breaks the negligible-overhead assumption: the
+  admission round trip eats tight deadlines and the AC's state goes
+  stale (:func:`repro.experiments.sensitivity.sweep_network_delay`).
+
+These scenarios double as regression tests that the middleware *fails
+the way the theory predicts* — a stronger check than only testing the
+happy path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.core.cost_model import CostModel
+from repro.core.middleware import MiddlewareSystem
+from repro.core.strategies import StrategyCombo
+from repro.sched.task import Job, TaskKind, TaskSpec
+from repro.sim.rng import RngRegistry
+from repro.workloads.generator import RandomWorkloadParams, generate_random_workload
+from repro.workloads.model import Workload
+
+
+@dataclass
+class DisturbanceResult:
+    """Outcome of one disturbance scenario."""
+
+    scenario: str
+    accepted_utilization_ratio: float
+    deadline_misses: int
+    released_jobs: int
+    rejected_jobs: int
+    detail: Dict[str, float]
+
+
+def _base_system(
+    seed: int,
+    combo_label: str,
+    params: Optional[RandomWorkloadParams] = None,
+    workload: Optional[Workload] = None,
+) -> MiddlewareSystem:
+    if workload is None:
+        workload = generate_random_workload(
+            RngRegistry(seed).stream("wl"), params
+        )
+    return MiddlewareSystem(
+        workload, StrategyCombo.from_label(combo_label), seed=seed
+    )
+
+
+def run_burst_scenario(
+    duration: float = 60.0,
+    burst_time: float = 20.0,
+    burst_jobs: int = 30,
+    seed: int = 2008,
+    combo_label: str = "J_J_N",
+) -> DisturbanceResult:
+    """Inject a dense burst of aperiodic alert jobs mid-run.
+
+    The admission controller must shed the excess (acceptance drops) but
+    every released job still meets its deadline — overload does not turn
+    into missed deadlines, it turns into rejections.
+    """
+    system = _base_system(seed, combo_label)
+    workload = system.workload
+    alert = workload.aperiodic_tasks[0]
+    base_index = 100_000  # clear of the generated arrival plan's indices
+    for i in range(burst_jobs):
+        arrival = burst_time + i * 1e-3
+        system.sim.schedule_at(arrival, system._arrive, alert, base_index + i, arrival)
+    results = system.run(duration)
+    return DisturbanceResult(
+        scenario="arrival_burst",
+        accepted_utilization_ratio=results.accepted_utilization_ratio,
+        deadline_misses=results.deadline_misses,
+        released_jobs=results.metrics.released_jobs,
+        rejected_jobs=results.metrics.rejected_jobs,
+        detail={"burst_jobs": float(burst_jobs)},
+    )
+
+
+def run_slowdown_scenario(
+    duration: float = 60.0,
+    slowdown_time: float = 20.0,
+    slow_factor: float = 0.25,
+    seed: int = 2008,
+    combo_label: str = "J_N_N",
+) -> DisturbanceResult:
+    """Throttle every application processor mid-run.
+
+    Subjobs then take ``1 / slow_factor`` times their declared execution
+    time, violating the known-WCET assumption behind condition (1);
+    admitted jobs start missing deadlines — the failure mode the paper's
+    model explicitly excludes.
+    """
+    system = _base_system(seed, combo_label)
+
+    def throttle() -> None:
+        for node in system.workload.app_nodes:
+            system.processors[node].set_speed(slow_factor)
+
+    system.sim.schedule_at(slowdown_time, throttle)
+    results = system.run(duration)
+    return DisturbanceResult(
+        scenario="processor_slowdown",
+        accepted_utilization_ratio=results.accepted_utilization_ratio,
+        deadline_misses=results.deadline_misses,
+        released_jobs=results.metrics.released_jobs,
+        rejected_jobs=results.metrics.rejected_jobs,
+        detail={"slow_factor": slow_factor},
+    )

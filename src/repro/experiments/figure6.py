@@ -1,0 +1,109 @@
+"""Figure 6: load-balancing strategy comparison on imbalanced workloads.
+
+Section 7.2 recipe: three loaded processors at synthetic utilization 0.7
+hosting all subtasks (1-3 per task), two replica-only processors.  The 15
+combinations divide into 5 groups of three adjacent bars; within each
+group AC and IR are fixed while LB goes none -> per task -> per job.  The
+paper's finding: LB per task is a large improvement over no LB, while per
+job adds little on top.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.cost_model import CostModel
+from repro.core.middleware import MiddlewareSystem
+from repro.core.strategies import StrategyCombo, valid_combinations
+from repro.experiments.report import bar_chart
+from repro.sim.rng import RngRegistry
+from repro.workloads.imbalanced import (
+    ImbalancedWorkloadParams,
+    generate_imbalanced_workload,
+)
+from repro.workloads.model import Workload
+
+
+@dataclass
+class Figure6Result:
+    """Per-combination ratios plus the LB-group view of the figure."""
+
+    duration: float
+    n_sets: int
+    per_combo: Dict[str, float] = field(default_factory=dict)
+    per_combo_sets: Dict[str, List[float]] = field(default_factory=dict)
+    deadline_misses: int = 0
+
+    def lb_groups(self) -> Dict[str, Tuple[float, float, float]]:
+        """For each fixed (AC, IR) pair: ratios for LB = N, T, J."""
+        groups: Dict[str, Tuple[float, float, float]] = {}
+        pairs = sorted(
+            {tuple(label.split("_")[:2]) for label in self.per_combo}
+        )
+        for ac, ir in pairs:
+            key = f"{ac}_{ir}"
+            groups[key] = tuple(
+                self.per_combo[f"{ac}_{ir}_{lb}"] for lb in ("N", "T", "J")
+            )
+        return groups
+
+    def lb_means(self) -> Dict[str, float]:
+        """Mean ratio by LB strategy letter across all (AC, IR) groups."""
+        sums = {"N": 0.0, "T": 0.0, "J": 0.0}
+        count = 0
+        for _key, (n, t, j) in self.lb_groups().items():
+            sums["N"] += n
+            sums["T"] += t
+            sums["J"] += j
+            count += 1
+        return {k: v / count for k, v in sums.items()} if count else {}
+
+    def format(self) -> str:
+        return bar_chart(
+            self.per_combo,
+            title=(
+                "Figure 6 — LB strategy comparison, imbalanced workload "
+                f"({self.n_sets} task sets, {self.duration:.0f}s each)"
+            ),
+        )
+
+
+def run_figure6(
+    n_sets: int = 10,
+    duration: float = 60.0,
+    seed: int = 2008,
+    cost_model: Optional[CostModel] = None,
+    params: Optional[ImbalancedWorkloadParams] = None,
+    combos: Optional[Sequence[StrategyCombo]] = None,
+    aperiodic_interarrival_factor: float = 2.0,
+    workloads: Optional[Sequence[Workload]] = None,
+) -> Figure6Result:
+    """Run the Figure 6 experiment (imbalanced workloads)."""
+    combos = list(combos) if combos is not None else valid_combinations()
+    rngs = RngRegistry(seed)
+    if workloads is None:
+        gen_rng = rngs.stream("task_sets")
+        workloads = [
+            generate_imbalanced_workload(gen_rng, params) for _ in range(n_sets)
+        ]
+    else:
+        workloads = list(workloads)
+        n_sets = len(workloads)
+    result = Figure6Result(duration=duration, n_sets=n_sets)
+    for combo in combos:
+        ratios: List[float] = []
+        for set_index, workload in enumerate(workloads):
+            system = MiddlewareSystem(
+                workload,
+                combo,
+                cost_model=cost_model,
+                seed=seed + 1000 * set_index,
+                aperiodic_interarrival_factor=aperiodic_interarrival_factor,
+            )
+            run = system.run(duration)
+            ratios.append(run.accepted_utilization_ratio)
+            result.deadline_misses += run.deadline_misses
+        result.per_combo_sets[combo.label] = ratios
+        result.per_combo[combo.label] = sum(ratios) / len(ratios)
+    return result

@@ -1,0 +1,130 @@
+"""Figure 8: overheads of the service components (microseconds).
+
+Section 7.3 recipe: random workload with 1-3 subtasks per task on 3
+application processors plus the task-manager processor, 5-minute runs.
+Two configurations are needed to populate every row of the table: a no-LB
+run measures "AC without LB", and an LB-enabled run measures the with-LB
+and re-allocation paths; IR-per-job is enabled so the IR rows fill.
+
+The paper's headline check: *every* delay induced by the configurable
+components stays below 2 ms.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.cost_model import CostModel
+from repro.core.middleware import MiddlewareSystem
+from repro.core.strategies import StrategyCombo
+from repro.experiments.report import format_table
+from repro.metrics.overhead import (
+    ALL_ROWS,
+    OverheadAccounting,
+    OverheadRow,
+    PAPER_FIGURE8_USEC,
+    ROW_AC_WITHOUT_LB,
+)
+from repro.sim.rng import RngRegistry
+from repro.workloads.generator import RandomWorkloadParams, generate_random_workload
+
+
+@dataclass
+class Figure8Result:
+    """Measured overhead rows plus the paper's values for comparison."""
+
+    duration: float
+    rows: List[OverheadRow] = field(default_factory=list)
+
+    def row(self, name: str) -> Optional[OverheadRow]:
+        for row in self.rows:
+            if row.name == name:
+                return row
+        return None
+
+    def max_service_delay_usec(self) -> float:
+        """Largest measured max over admission paths (< 2000 in the paper)."""
+        paths = [
+            r.max_usec
+            for r in self.rows
+            if r.name.startswith(("ac_", "lb_"))
+        ]
+        return max(paths) if paths else 0.0
+
+    def format(self) -> str:
+        table_rows = []
+        for row in self.rows:
+            paper = PAPER_FIGURE8_USEC.get(row.name)
+            table_rows.append(
+                [
+                    row.name,
+                    f"{row.mean_usec:.0f}",
+                    f"{row.max_usec:.0f}",
+                    row.samples,
+                    f"{paper[0]}/{paper[1]}" if paper else "-",
+                ]
+            )
+        return format_table(
+            ["path", "mean (us)", "max (us)", "samples", "paper mean/max"],
+            table_rows,
+            title=f"Figure 8 — Service overheads ({self.duration:.0f}s runs)",
+        )
+
+
+def _default_params() -> RandomWorkloadParams:
+    # Section 7.3: same generator as 7.1 but 1-3 subtasks per task and
+    # 3 application processors.
+    return RandomWorkloadParams(
+        n_processors=3, min_subtasks=1, max_subtasks=3
+    )
+
+
+def run_figure8(
+    duration: float = 300.0,
+    seed: int = 2008,
+    cost_model: Optional[CostModel] = None,
+    params: Optional[RandomWorkloadParams] = None,
+    aperiodic_interarrival_factor: float = 2.0,
+) -> Figure8Result:
+    """Run the Figure 8 overhead measurement.
+
+    ``duration`` defaults to the paper's 5-minute runs; tests pass
+    something smaller.
+    """
+    params = params or _default_params()
+    rngs = RngRegistry(seed)
+    gen_rng = rngs.stream("task_sets")
+    workload = generate_random_workload(gen_rng, params)
+    merged = OverheadAccounting()
+
+    # Run 1: no LB — populates the "AC without LB" row.
+    no_lb = MiddlewareSystem(
+        workload,
+        StrategyCombo.from_label("J_J_N"),
+        cost_model=cost_model,
+        seed=seed,
+        aperiodic_interarrival_factor=aperiodic_interarrival_factor,
+    )
+    res_no_lb = no_lb.run(duration)
+
+    # Run 2: LB per job — populates the with-LB, re-allocation and IR rows.
+    with_lb = MiddlewareSystem(
+        workload,
+        StrategyCombo.from_label("J_J_J"),
+        cost_model=cost_model,
+        seed=seed,
+        aperiodic_interarrival_factor=aperiodic_interarrival_factor,
+    )
+    res_with_lb = with_lb.run(duration)
+
+    for accounting in (res_no_lb.overhead, res_with_lb.overhead):
+        for name in ALL_ROWS:
+            merged.series(name).merge(accounting.series(name))
+    # Communication-delay samples come from both networks.
+    for system in (no_lb, with_lb):
+        stats = system.network.delay_stats
+        merged.series("communication_delay").merge(stats)
+
+    result = Figure8Result(duration=duration, rows=merged.rows())
+    return result

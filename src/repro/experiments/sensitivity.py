@@ -1,0 +1,122 @@
+"""Sensitivity sweeps — ablations beyond the paper's figures.
+
+Three sweeps quantify the design trade-offs the paper discusses
+qualitatively:
+
+* **Load sweep** — accepted utilization ratio vs aperiodic arrival rate
+  (the undisclosed free parameter of section 7.1), per combination.
+* **Overhead sweep** — ratio vs scaling of all middleware operation
+  costs (the overhead-vs-pessimism trade-off of section 4.2).
+* **Delay sweep** — ratio and response times vs one-way network delay
+  (how far the centralized AC architecture stretches before the
+  admission round-trip bites into tight deadlines).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.cost_model import CostModel
+from repro.core.middleware import MiddlewareSystem
+from repro.core.strategies import StrategyCombo
+from repro.net.latency import ConstantDelay
+from repro.sim.rng import RngRegistry
+from repro.workloads.generator import RandomWorkloadParams, generate_random_workload
+from repro.workloads.model import Workload
+
+
+@dataclass
+class SweepResult:
+    """One sweep: parameter values -> accepted utilization ratios."""
+
+    parameter: str
+    combo_label: str
+    points: List[Tuple[float, float]] = field(default_factory=list)
+
+    def ratios(self) -> List[float]:
+        return [r for _x, r in self.points]
+
+    def monotone_decreasing(self, tolerance: float = 0.05) -> bool:
+        """Whether the ratio never *rises* by more than ``tolerance`` as
+        the stress parameter grows."""
+        ratios = self.ratios()
+        return all(b <= a + tolerance for a, b in zip(ratios, ratios[1:]))
+
+
+def _workload(seed: int, params: Optional[RandomWorkloadParams]) -> Workload:
+    return generate_random_workload(RngRegistry(seed).stream("wl"), params)
+
+
+def sweep_load(
+    factors: Sequence[float] = (4.0, 2.0, 1.0, 0.5),
+    combo: StrategyCombo = None,
+    duration: float = 60.0,
+    seed: int = 2008,
+    params: Optional[RandomWorkloadParams] = None,
+) -> SweepResult:
+    """Ratio vs aperiodic load (smaller interarrival factor = heavier)."""
+    combo = combo or StrategyCombo.from_label("J_J_J")
+    workload = _workload(seed, params)
+    result = SweepResult("aperiodic_interarrival_factor", combo.label)
+    for factor in factors:
+        system = MiddlewareSystem(
+            workload, combo, seed=seed, aperiodic_interarrival_factor=factor
+        )
+        run = system.run(duration)
+        result.points.append((factor, run.accepted_utilization_ratio))
+    return result
+
+
+def sweep_overhead(
+    scales: Sequence[float] = (0.0, 1.0, 10.0, 100.0),
+    combo: StrategyCombo = None,
+    duration: float = 60.0,
+    seed: int = 2008,
+    params: Optional[RandomWorkloadParams] = None,
+) -> SweepResult:
+    """Ratio vs middleware operation-cost scaling."""
+    combo = combo or StrategyCombo.from_label("J_J_J")
+    workload = _workload(seed, params)
+    result = SweepResult("cost_scale", combo.label)
+    for scale in scales:
+        cost = CostModel.zero() if scale == 0 else CostModel().scaled(scale)
+        system = MiddlewareSystem(workload, combo, cost_model=cost, seed=seed)
+        run = system.run(duration)
+        result.points.append((scale, run.accepted_utilization_ratio))
+    return result
+
+
+@dataclass
+class DelaySweepPoint:
+    delay: float
+    accepted_utilization_ratio: float
+    mean_response: float
+    deadline_misses: int
+
+
+def sweep_network_delay(
+    delays: Sequence[float] = (0.0003, 0.001, 0.01, 0.05),
+    combo: StrategyCombo = None,
+    duration: float = 60.0,
+    seed: int = 2008,
+    params: Optional[RandomWorkloadParams] = None,
+) -> List[DelaySweepPoint]:
+    """Ratio/latency vs one-way network delay (centralized-AC stress)."""
+    combo = combo or StrategyCombo.from_label("J_J_J")
+    workload = _workload(seed, params)
+    points: List[DelaySweepPoint] = []
+    for delay in delays:
+        system = MiddlewareSystem(
+            workload, combo, seed=seed, delay_model=ConstantDelay(delay)
+        )
+        run = system.run(duration)
+        points.append(
+            DelaySweepPoint(
+                delay=delay,
+                accepted_utilization_ratio=run.accepted_utilization_ratio,
+                mean_response=run.metrics.latency.response_times.mean,
+                deadline_misses=run.deadline_misses,
+            )
+        )
+    return points

@@ -1,0 +1,16 @@
+"""Evaluation metrics.
+
+* :mod:`repro.metrics.ratio` — the paper's primary metric, the **accepted
+  utilization ratio**: total utilization of jobs actually released divided
+  by total utilization of all jobs arriving.
+* :mod:`repro.metrics.latency` — response times and deadline misses of
+  released jobs.
+* :mod:`repro.metrics.overhead` — per-path service delay decomposition
+  reproducing the paper's Figure 8 table.
+"""
+
+from repro.metrics.latency import LatencyMetrics
+from repro.metrics.overhead import OverheadAccounting, OverheadRow
+from repro.metrics.ratio import MetricsCollector
+
+__all__ = ["LatencyMetrics", "OverheadAccounting", "OverheadRow", "MetricsCollector"]

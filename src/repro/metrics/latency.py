@@ -1,0 +1,47 @@
+"""Response-time and deadline-miss accounting for released jobs.
+
+AUB admission guarantees that *admitted* jobs meet their end-to-end
+deadlines under EDMS; deadline misses in a simulation therefore indicate
+either middleware overhead eating into very tight deadlines or a bug, so
+experiments assert this stays (near) zero.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.sched.task import Job
+from repro.sim.monitor import StatSeries
+
+
+class LatencyMetrics:
+    """Collects response times and deadline misses of completed jobs."""
+
+    def __init__(self) -> None:
+        self.response_times = StatSeries()
+        self.deadline_misses = 0
+        self.missed_jobs: List[tuple] = []
+        self._per_task: Dict[str, StatSeries] = {}
+
+    def on_completion(self, job: Job) -> None:
+        response = job.response_time
+        if response is None:
+            return
+        self.response_times.add(response)
+        per_task = self._per_task.get(job.task.task_id)
+        if per_task is None:
+            per_task = StatSeries()
+            self._per_task[job.task.task_id] = per_task
+        per_task.add(response)
+        if not job.met_deadline:
+            self.deadline_misses += 1
+            self.missed_jobs.append(job.key)
+
+    def task_response_times(self, task_id: str) -> StatSeries:
+        return self._per_task.get(task_id, StatSeries())
+
+    @property
+    def miss_rate(self) -> float:
+        if self.response_times.count == 0:
+            return 0.0
+        return self.deadline_misses / self.response_times.count

@@ -1,0 +1,118 @@
+"""One-way communication-delay models.
+
+Figure 8 of the paper reports a one-way communication delay of mean 322 us
+and max 361 us between the application processors and the admission-control
+processor (measured with 1000 round trips on 100 Mbps Ethernet).
+:func:`paper_calibrated_delay` reproduces that distribution shape with a
+triangular model.
+"""
+
+from __future__ import annotations
+
+import random
+from abc import ABC, abstractmethod
+
+from repro.errors import SimulationError
+from repro.sim.kernel import USEC
+
+
+class DelayModel(ABC):
+    """A distribution of one-way message delays, in seconds."""
+
+    @abstractmethod
+    def sample(self, rng: random.Random) -> float:
+        """Draw a delay sample using ``rng``."""
+
+    def mean(self) -> float:
+        """The analytic mean of the distribution (for documentation/tests)."""
+        raise NotImplementedError
+
+
+class ConstantDelay(DelayModel):
+    """Always the same delay."""
+
+    def __init__(self, delay: float) -> None:
+        if delay < 0:
+            raise SimulationError(f"delay must be >= 0, got {delay}")
+        self.delay = delay
+
+    def sample(self, rng: random.Random) -> float:
+        return self.delay
+
+    def mean(self) -> float:
+        return self.delay
+
+    def __repr__(self) -> str:
+        return f"ConstantDelay({self.delay!r})"
+
+
+class UniformDelay(DelayModel):
+    """Uniform on ``[low, high]``."""
+
+    def __init__(self, low: float, high: float) -> None:
+        if not 0 <= low <= high:
+            raise SimulationError(f"invalid uniform bounds [{low}, {high}]")
+        self.low = low
+        self.high = high
+
+    def sample(self, rng: random.Random) -> float:
+        return rng.uniform(self.low, self.high)
+
+    def mean(self) -> float:
+        return (self.low + self.high) / 2.0
+
+    def __repr__(self) -> str:
+        return f"UniformDelay({self.low!r}, {self.high!r})"
+
+
+class TriangularDelay(DelayModel):
+    """Triangular on ``[low, high]`` with the given ``mode``."""
+
+    def __init__(self, low: float, mode: float, high: float) -> None:
+        if not 0 <= low <= mode <= high:
+            raise SimulationError(
+                f"invalid triangular parameters ({low}, {mode}, {high})"
+            )
+        self.low = low
+        self.mode = mode
+        self.high = high
+
+    def sample(self, rng: random.Random) -> float:
+        return rng.triangular(self.low, self.high, self.mode)
+
+    def mean(self) -> float:
+        return (self.low + self.mode + self.high) / 3.0
+
+    def __repr__(self) -> str:
+        return f"TriangularDelay({self.low!r}, {self.mode!r}, {self.high!r})"
+
+
+class NormalDelay(DelayModel):
+    """Normal(mu, sigma) truncated below at ``floor`` (default 0)."""
+
+    def __init__(self, mu: float, sigma: float, floor: float = 0.0) -> None:
+        if sigma < 0:
+            raise SimulationError(f"sigma must be >= 0, got {sigma}")
+        self.mu = mu
+        self.sigma = sigma
+        self.floor = floor
+
+    def sample(self, rng: random.Random) -> float:
+        return max(self.floor, rng.gauss(self.mu, self.sigma))
+
+    def mean(self) -> float:
+        # Truncation bias is negligible for the parameters we use.
+        return self.mu
+
+    def __repr__(self) -> str:
+        return f"NormalDelay({self.mu!r}, {self.sigma!r}, floor={self.floor!r})"
+
+
+def paper_calibrated_delay() -> TriangularDelay:
+    """One-way delay calibrated to the paper's testbed (Figure 8).
+
+    The paper measured mean 322 us and max 361 us.  A triangular
+    distribution on [283 us, 361 us] with mode 322 us has mean 322 us and
+    the observed maximum.
+    """
+    return TriangularDelay(283 * USEC, 322 * USEC, 361 * USEC)

@@ -1,0 +1,38 @@
+"""Scheduling theory: task model, AUB analysis, EDMS, baselines.
+
+This package implements the theory underlying the paper's services
+(section 2):
+
+* the end-to-end task model — tasks are chains of subtasks on different
+  processors; jobs are chains of subjobs (:mod:`repro.sched.task`);
+* Aperiodic Utilization Bound (AUB) analysis: synthetic utilization
+  bookkeeping, the schedulability condition (paper equation 1), and the
+  resetting rule (:mod:`repro.sched.aub`);
+* End-to-end Deadline Monotonic Scheduling priority assignment
+  (:mod:`repro.sched.edms`);
+* the Deferrable Server baseline the paper's earlier work compared AUB
+  against (:mod:`repro.sched.deferrable`).
+"""
+
+from repro.sched.aub import (
+    AubAnalyzer,
+    SyntheticUtilizationLedger,
+    aub_term,
+    task_condition_holds,
+)
+from repro.sched.edms import assign_priorities, edms_priority
+from repro.sched.task import Job, JobStatus, SubtaskSpec, TaskKind, TaskSpec
+
+__all__ = [
+    "AubAnalyzer",
+    "SyntheticUtilizationLedger",
+    "aub_term",
+    "task_condition_holds",
+    "assign_priorities",
+    "edms_priority",
+    "Job",
+    "JobStatus",
+    "SubtaskSpec",
+    "TaskKind",
+    "TaskSpec",
+]

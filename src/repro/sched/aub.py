@@ -1,0 +1,268 @@
+"""Aperiodic Utilization Bound (AUB) analysis.
+
+Implements the schedulability machinery from Abdelzaher, Thaker & Lardieri
+(ICDCS 2004) as used by the paper (section 2):
+
+* **Synthetic utilization** ``U_j(t)``: the sum of subtask utilizations
+  ``C_ij / D_i`` on processor ``j`` accrued over all *current* tasks —
+  tasks released whose deadlines have not expired.  Tracked by
+  :class:`SyntheticUtilizationLedger` with per-contribution lifecycle.
+* **The admission condition** (paper equation 1): under EDMS, task ``Ti``
+  meets its deadline if ``sum_j f(U_Vij) <= 1`` with
+  ``f(u) = u * (1 - u/2) / (1 - u)``; a task or job is admitted only if the
+  condition holds for every admitted task *and* the candidate
+  (:meth:`AubAnalyzer.admissible`).
+* **The resetting rule**: when a processor idles, contributions of
+  completed subjobs may be removed without invalidating the analysis —
+  the mechanism behind the paper's Idle Resetting service.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from repro.errors import SchedulingError
+from repro.sim.monitor import TimeWeightedStat
+
+#: Numeric slack for condition comparisons, so contributions that sum to
+#: exactly the bound are not rejected by floating-point noise.
+EPSILON = 1e-9
+
+#: A ledger contribution key: (task_id, job_index, subtask_index).
+#: ``job_index == RESERVED`` marks a per-task reservation (AC-per-Task
+#: strategy) that persists for the task's lifetime.
+ContributionKey = Tuple[str, int, int]
+
+#: Sentinel job index for per-task (lifetime) reservations.
+RESERVED = -1
+
+
+def aub_term(u: float) -> float:
+    """The per-processor term ``f(u) = u(1 - u/2)/(1 - u)`` of condition (1).
+
+    Defined for ``0 <= u < 1``; returns ``+inf`` for ``u >= 1`` (a
+    saturated processor can never satisfy the condition).
+    """
+    if u < 0:
+        raise SchedulingError(f"synthetic utilization cannot be negative: {u}")
+    if u >= 1.0:
+        return math.inf
+    return u * (1.0 - u / 2.0) / (1.0 - u)
+
+
+def aub_term_inverse(t: float) -> float:
+    """Inverse of :func:`aub_term` on [0, 1): the utilization ``u`` with
+    ``f(u) = t``.
+
+    Solving ``u(1 - u/2) = t(1 - u)`` gives
+    ``u = (1 + t) - sqrt((1 + t)^2 - 2t)``.  Used by the decentralized
+    admission-control extension to convert per-task slack budgets into
+    local per-processor utilization caps.
+    """
+    if t < 0:
+        raise SchedulingError(f"term value cannot be negative: {t}")
+    if math.isinf(t):
+        return 1.0
+    return (1.0 + t) - math.sqrt((1.0 + t) ** 2 - 2.0 * t)
+
+
+def task_condition_holds(visit_utils: Sequence[float]) -> bool:
+    """Check condition (1) for one task given the synthetic utilizations of
+    the processors it visits (one entry per stage, repeats allowed)."""
+    total = 0.0
+    for u in visit_utils:
+        total += aub_term(u)
+        if total > 1.0 + EPSILON:
+            return False
+    return True
+
+
+class SyntheticUtilizationLedger:
+    """Tracks per-processor synthetic utilization with explicit lifecycle.
+
+    Contributions are keyed by :data:`ContributionKey` per processor, so
+    each (job, subtask) contribution can be removed exactly once by either
+    deadline expiry or an idle reset — making the strategy semantics of the
+    AC/IR services executable and auditable.
+    """
+
+    def __init__(self, nodes: Iterable[str], track_time: bool = False) -> None:
+        node_list = list(nodes)
+        if not node_list:
+            raise SchedulingError("ledger needs at least one processor")
+        self._contribs: Dict[str, Dict[ContributionKey, float]] = {
+            n: {} for n in node_list
+        }
+        self._totals: Dict[str, float] = {n: 0.0 for n in node_list}
+        self._stats: Optional[Dict[str, TimeWeightedStat]] = None
+        if track_time:
+            self._stats = {n: TimeWeightedStat() for n in node_list}
+
+    # ------------------------------------------------------------------
+    # Node access
+    # ------------------------------------------------------------------
+    @property
+    def nodes(self) -> List[str]:
+        return sorted(self._contribs)
+
+    def _node(self, node: str) -> Dict[ContributionKey, float]:
+        try:
+            return self._contribs[node]
+        except KeyError:
+            raise SchedulingError(f"unknown processor {node!r}") from None
+
+    # ------------------------------------------------------------------
+    # Contribution lifecycle
+    # ------------------------------------------------------------------
+    def add(self, node: str, key: ContributionKey, value: float, now: float = 0.0) -> None:
+        """Accrue a contribution.  Re-adding an existing key is an error."""
+        contribs = self._node(node)
+        if key in contribs:
+            raise SchedulingError(
+                f"contribution {key} already present on {node!r}"
+            )
+        if value < 0:
+            raise SchedulingError(f"contribution must be >= 0, got {value}")
+        contribs[key] = value
+        self._totals[node] += value
+        if self._stats is not None:
+            self._stats[node].update(now, self._totals[node])
+
+    def remove(self, node: str, key: ContributionKey, now: float = 0.0) -> bool:
+        """Remove a contribution if present; returns whether it existed.
+
+        Removal is tolerant of absent keys because deadline expiry and idle
+        resetting race benignly: whichever fires second finds the key gone.
+        """
+        contribs = self._node(node)
+        value = contribs.pop(key, None)
+        if value is None:
+            return False
+        self._totals[node] -= value
+        if not contribs:
+            # Snap to exactly zero when the last contribution leaves, so
+            # float residue cannot accumulate across add/remove cycles.
+            self._totals[node] = 0.0
+        if self._totals[node] < 0:
+            # Guard against float drift; totals are sums of removals of
+            # previously added values so true negatives are impossible.
+            self._totals[node] = 0.0 if self._totals[node] > -1e-12 else self._totals[node]
+            if self._totals[node] < 0:
+                raise SchedulingError(
+                    f"negative synthetic utilization on {node!r}"
+                )
+        if self._stats is not None:
+            self._stats[node].update(now, self._totals[node])
+        return True
+
+    def contains(self, node: str, key: ContributionKey) -> bool:
+        return key in self._node(node)
+
+    def utilization(self, node: str) -> float:
+        """Current synthetic utilization U_j(t) of ``node``."""
+        self._node(node)
+        return self._totals[node]
+
+    def snapshot(self) -> Dict[str, float]:
+        """Copy of all current synthetic utilizations."""
+        return dict(self._totals)
+
+    def contribution_count(self, node: str) -> int:
+        return len(self._node(node))
+
+    def average_utilization(self, node: str, until: float) -> float:
+        """Time-weighted average of U_j (requires ``track_time=True``)."""
+        if self._stats is None:
+            raise SchedulingError("ledger was not created with track_time=True")
+        return self._stats[node].average(until)
+
+
+class AubAnalyzer:
+    """System-wide AUB admission testing over a ledger.
+
+    The analyzer tracks the *visit lists* of all tasks that currently hold
+    contributions, because condition (1) must keep holding for **every**
+    admitted task when a new one is admitted.  Entries expire lazily: each
+    has an expiry time (the job's absolute deadline) or ``None`` for
+    lifetime reservations (AC-per-Task).
+    """
+
+    def __init__(self, ledger: SyntheticUtilizationLedger) -> None:
+        self.ledger = ledger
+        #: registrant key -> (visit list, expiry time or None)
+        self._visits: Dict[Tuple[str, int], Tuple[List[str], Optional[float]]] = {}
+        self.tests_performed = 0
+
+    # ------------------------------------------------------------------
+    # Current-task registry
+    # ------------------------------------------------------------------
+    def register(
+        self,
+        key: Tuple[str, int],
+        visits: Sequence[str],
+        expiry: Optional[float],
+    ) -> None:
+        """Record that the task/job ``key`` visits ``visits`` until ``expiry``."""
+        self._visits[key] = (list(visits), expiry)
+
+    def unregister(self, key: Tuple[str, int]) -> None:
+        self._visits.pop(key, None)
+
+    def prune(self, now: float) -> None:
+        """Drop registry entries whose expiry has passed."""
+        expired = [
+            k
+            for k, (_visits, expiry) in self._visits.items()
+            if expiry is not None and expiry <= now + EPSILON
+        ]
+        for k in expired:
+            del self._visits[k]
+
+    @property
+    def registered(self) -> int:
+        return len(self._visits)
+
+    # ------------------------------------------------------------------
+    # Admission testing
+    # ------------------------------------------------------------------
+    def admissible(
+        self,
+        candidate_visits: Sequence[str],
+        candidate_contribs: Mapping[str, float],
+        now: float,
+        exclude: Optional[Tuple[str, int]] = None,
+    ) -> bool:
+        """Would the system stay schedulable after adding the candidate?
+
+        Parameters
+        ----------
+        candidate_visits:
+            Processor list the candidate task visits (one per stage).
+        candidate_contribs:
+            node -> synthetic-utilization delta the candidate adds.  Deltas
+            may be negative when evaluating a *relocation* of an already
+            admitted task (contributions move between processors).
+        now:
+            Current time, used to prune expired registry entries.
+        exclude:
+            Registry key whose old visit list should be ignored (the task
+            being relocated; its new visit list is ``candidate_visits``).
+        """
+        self.tests_performed += 1
+        self.prune(now)
+        totals = self.ledger.snapshot()
+        for node, extra in candidate_contribs.items():
+            totals[node] = max(0.0, totals.get(node, 0.0) + extra)
+        # Every processor must stay below saturation for f(u) to be finite.
+        for node in set(candidate_visits):
+            if totals.get(node, 0.0) >= 1.0:
+                return False
+        if not task_condition_holds([totals[n] for n in candidate_visits]):
+            return False
+        for key, (visits, _expiry) in self._visits.items():
+            if exclude is not None and key == exclude:
+                continue
+            if not task_condition_holds([totals.get(n, 0.0) for n in visits]):
+                return False
+        return True

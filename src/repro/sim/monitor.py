@@ -1,0 +1,124 @@
+"""Statistics collectors used by metrics and experiments.
+
+Two collectors cover the library's needs:
+
+* :class:`StatSeries` — streaming mean/max/min/count over samples (used for
+  per-operation delays, response times, ...).
+* :class:`TimeWeightedStat` — integral of a piecewise-constant signal over
+  virtual time (used for average synthetic utilization per processor).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+
+@dataclass
+class StatSeries:
+    """Streaming sample statistics with optional sample retention.
+
+    >>> s = StatSeries()
+    >>> for v in (1.0, 2.0, 3.0):
+    ...     s.add(v)
+    >>> s.mean, s.maximum, s.count
+    (2.0, 3.0, 3)
+    """
+
+    keep_samples: bool = False
+    count: int = 0
+    total: float = 0.0
+    total_sq: float = 0.0
+    minimum: float = math.inf
+    maximum: float = -math.inf
+    samples: List[float] = field(default_factory=list)
+
+    def add(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        self.total_sq += value * value
+        if value < self.minimum:
+            self.minimum = value
+        if value > self.maximum:
+            self.maximum = value
+        if self.keep_samples:
+            self.samples.append(value)
+
+    @property
+    def mean(self) -> float:
+        """Arithmetic mean of all samples (0.0 when empty)."""
+        if self.count == 0:
+            return 0.0
+        return self.total / self.count
+
+    @property
+    def variance(self) -> float:
+        """Population variance of all samples (0.0 when empty)."""
+        if self.count == 0:
+            return 0.0
+        m = self.mean
+        return max(0.0, self.total_sq / self.count - m * m)
+
+    @property
+    def stdev(self) -> float:
+        return math.sqrt(self.variance)
+
+    def merge(self, other: "StatSeries") -> None:
+        """Fold ``other``'s samples into this collector."""
+        self.count += other.count
+        self.total += other.total
+        self.total_sq += other.total_sq
+        self.minimum = min(self.minimum, other.minimum)
+        self.maximum = max(self.maximum, other.maximum)
+        if self.keep_samples:
+            self.samples.extend(other.samples)
+
+
+class TimeWeightedStat:
+    """Time-weighted average of a piecewise-constant signal.
+
+    The signal starts at ``initial`` at time ``start``.  Call
+    :meth:`update` whenever the value changes; :meth:`average` integrates up
+    to the supplied time.
+
+    >>> tw = TimeWeightedStat(start=0.0, initial=0.0)
+    >>> tw.update(1.0, 1.0)     # value becomes 1.0 at t=1
+    >>> tw.average(2.0)         # 0.0 for one second, 1.0 for one second
+    0.5
+    """
+
+    def __init__(self, start: float = 0.0, initial: float = 0.0) -> None:
+        self._last_time = start
+        self._value = initial
+        self._area = 0.0
+        self._start = start
+        self.peak = initial
+
+    @property
+    def value(self) -> float:
+        """The current signal value."""
+        return self._value
+
+    def update(self, time: float, value: float) -> None:
+        """Record that the signal changed to ``value`` at ``time``."""
+        if time < self._last_time:
+            raise ValueError(
+                f"time went backwards: {time} < {self._last_time}"
+            )
+        self._area += self._value * (time - self._last_time)
+        self._last_time = time
+        self._value = value
+        if value > self.peak:
+            self.peak = value
+
+    def average(self, until: Optional[float] = None) -> float:
+        """Time-weighted mean from start until ``until`` (default: last update)."""
+        end = self._last_time if until is None else until
+        if end < self._last_time:
+            raise ValueError("cannot average before the last update")
+        area = self._area + self._value * (end - self._last_time)
+        span = end - self._start
+        if span <= 0:
+            return self._value
+        return area / span

@@ -1,0 +1,138 @@
+"""Execution timelines from trace records.
+
+Builds a per-processor view of what the middleware did over a run —
+arrivals, admission decisions, subjob completions, idle-reset reports —
+and renders it as text.  This is the debugging aid the paper's authors
+got from KURT-Linux instrumentation; here it comes from the simulator's
+exact virtual-time tracer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.sim.tracing import TraceRecord, Tracer
+
+#: Trace categories with their one-letter timeline markers.
+_MARKERS = {
+    "te.arrive": "a",
+    "te.release": "R",
+    "te.reject": "x",
+    "ac.accept": "A",
+    "ac.reject": "X",
+    "ac.idle_reset": "i",
+    "ir.report": "r",
+    "subtask.complete": "c",
+    "job.complete": "C",
+}
+
+
+@dataclass(frozen=True)
+class TimelineEvent:
+    """One rendered timeline entry."""
+
+    time: float
+    node: str
+    category: str
+    description: str
+
+
+@dataclass
+class Timeline:
+    """All trace events of a run, grouped and queryable."""
+
+    events: List[TimelineEvent] = field(default_factory=list)
+
+    def for_node(self, node: str) -> List[TimelineEvent]:
+        return [e for e in self.events if e.node == node]
+
+    def for_category(self, category: str) -> List[TimelineEvent]:
+        return [e for e in self.events if e.category == category]
+
+    def between(self, start: float, end: float) -> List[TimelineEvent]:
+        return [e for e in self.events if start <= e.time < end]
+
+    def job_history(self, task_id: str, job_index: int) -> List[TimelineEvent]:
+        """Every event touching one specific job, in time order."""
+        needle_task = task_id
+        out = []
+        for event in self.events:
+            if f"task={needle_task}" in event.description and (
+                f"job={job_index}" in event.description
+            ):
+                out.append(event)
+        return out
+
+
+def build_timeline(tracer: Tracer) -> Timeline:
+    """Convert raw trace records into a queryable timeline."""
+    events = []
+    for rec in sorted(tracer.records, key=lambda r: r.time):
+        description = " ".join(f"{k}={v}" for k, v in rec.data)
+        events.append(
+            TimelineEvent(
+                time=rec.time,
+                node=rec.node or "-",
+                category=rec.category,
+                description=description,
+            )
+        )
+    return Timeline(events=events)
+
+
+def format_timeline(
+    timeline: Timeline,
+    start: float = 0.0,
+    end: Optional[float] = None,
+    limit: int = 60,
+) -> str:
+    """Plain chronological listing (one line per event)."""
+    events = timeline.events
+    if end is not None:
+        events = [e for e in events if start <= e.time < end]
+    else:
+        events = [e for e in events if e.time >= start]
+    lines = [f"{'time (s)':>12}  {'node':12} {'event':18} details"]
+    for event in events[:limit]:
+        lines.append(
+            f"{event.time:12.6f}  {event.node:12} {event.category:18} "
+            f"{event.description}"
+        )
+    if len(events) > limit:
+        lines.append(f"... {len(events) - limit} more events")
+    return "\n".join(lines)
+
+
+def format_lanes(
+    timeline: Timeline,
+    nodes: List[str],
+    start: float,
+    end: float,
+    width: int = 100,
+) -> str:
+    """ASCII lane chart: one row per processor, one column per time
+    bucket, marker = most significant event in the bucket."""
+    if end <= start:
+        raise ValueError("end must be after start")
+    bucket = (end - start) / width
+    priority = {m: i for i, m in enumerate("CXxARraci")}  # high to low
+    lanes: Dict[str, List[str]] = {n: ["."] * width for n in nodes}
+    for event in timeline.between(start, end):
+        marker = _MARKERS.get(event.category)
+        if marker is None or event.node not in lanes:
+            continue
+        col = min(width - 1, int((event.time - start) / bucket))
+        current = lanes[event.node][col]
+        if current == "." or priority.get(marker, 99) < priority.get(current, 99):
+            lanes[event.node][col] = marker
+    name_width = max(len(n) for n in nodes)
+    lines = [
+        f"timeline {start:.3f}s .. {end:.3f}s "
+        f"({bucket * 1000:.1f} ms/column)  "
+        "legend: a=arrive A=accept X/x=reject R=release c=subjob "
+        "C=job-complete r=ir-report i=idle-reset"
+    ]
+    for node in nodes:
+        lines.append(f"{node.ljust(name_width)} |{''.join(lanes[node])}|")
+    return "\n".join(lines)

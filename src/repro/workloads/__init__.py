@@ -1,0 +1,28 @@
+"""Workload models and generators for the paper's experiments.
+
+* :class:`~repro.workloads.model.Workload` — a task set plus the processor
+  topology it runs on.
+* :mod:`repro.workloads.arrivals` — periodic and Poisson arrival plans.
+* :mod:`repro.workloads.generator` — the section 7.1 random workload
+  (balanced synthetic utilization 0.5 on five processors).
+* :mod:`repro.workloads.imbalanced` — the section 7.2 imbalanced workload
+  (three loaded processors at 0.7, two replica-only processors).
+"""
+
+from repro.workloads.arrivals import ArrivalPlan, build_arrival_plan
+from repro.workloads.generator import RandomWorkloadParams, generate_random_workload
+from repro.workloads.imbalanced import (
+    ImbalancedWorkloadParams,
+    generate_imbalanced_workload,
+)
+from repro.workloads.model import Workload
+
+__all__ = [
+    "ArrivalPlan",
+    "build_arrival_plan",
+    "RandomWorkloadParams",
+    "generate_random_workload",
+    "ImbalancedWorkloadParams",
+    "generate_imbalanced_workload",
+    "Workload",
+]

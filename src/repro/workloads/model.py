@@ -1,0 +1,84 @@
+"""The :class:`Workload` container: tasks + processor topology."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.errors import WorkloadSpecError
+from repro.sched.task import TaskKind, TaskSpec
+
+#: Default name of the central task-manager processor.
+DEFAULT_MANAGER_NODE = "task_manager"
+
+
+@dataclass(frozen=True)
+class Workload:
+    """A complete workload: end-to-end tasks over named processors.
+
+    ``app_nodes`` are the application processors; the AC/LB services run on
+    ``manager_node`` (the paper's dedicated "Task Manager" machine).
+    """
+
+    tasks: Tuple[TaskSpec, ...]
+    app_nodes: Tuple[str, ...]
+    manager_node: str = DEFAULT_MANAGER_NODE
+
+    def __post_init__(self) -> None:
+        if not self.tasks:
+            raise WorkloadSpecError("workload has no tasks")
+        if not self.app_nodes:
+            raise WorkloadSpecError("workload has no application processors")
+        if self.manager_node in self.app_nodes:
+            raise WorkloadSpecError(
+                f"manager node {self.manager_node!r} cannot also be an "
+                "application processor"
+            )
+        if len(set(self.app_nodes)) != len(self.app_nodes):
+            raise WorkloadSpecError("duplicate application processor names")
+        seen = set()
+        nodes = set(self.app_nodes)
+        for task in self.tasks:
+            if task.task_id in seen:
+                raise WorkloadSpecError(f"duplicate task id {task.task_id!r}")
+            seen.add(task.task_id)
+            for subtask in task.subtasks:
+                for node in subtask.eligible:
+                    if node not in nodes:
+                        raise WorkloadSpecError(
+                            f"task {task.task_id} subtask {subtask.index} "
+                            f"references unknown processor {node!r}"
+                        )
+
+    # ------------------------------------------------------------------
+    # Derived views
+    # ------------------------------------------------------------------
+    @property
+    def periodic_tasks(self) -> List[TaskSpec]:
+        return [t for t in self.tasks if t.kind is TaskKind.PERIODIC]
+
+    @property
+    def aperiodic_tasks(self) -> List[TaskSpec]:
+        return [t for t in self.tasks if t.kind is TaskKind.APERIODIC]
+
+    def task(self, task_id: str) -> TaskSpec:
+        for t in self.tasks:
+            if t.task_id == task_id:
+                return t
+        raise WorkloadSpecError(f"no task named {task_id!r}")
+
+    def static_utilization(self) -> Dict[str, float]:
+        """Per-processor synthetic utilization if all tasks were current
+        simultaneously and homed (the workload generators' calibration
+        target: 0.5 in section 7.1, 0.7 in section 7.2)."""
+        totals: Dict[str, float] = {n: 0.0 for n in self.app_nodes}
+        for task in self.tasks:
+            for subtask in task.subtasks:
+                totals[subtask.home] += subtask.execution_time / task.deadline
+        return totals
+
+    def replicated(self) -> bool:
+        """Whether any subtask has at least one replica (criterion C3)."""
+        return any(
+            subtask.replicas for task in self.tasks for subtask in task.subtasks
+        )

@@ -1,0 +1,27 @@
+"""Shared fixtures: small deterministic workloads and builders."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.cost_model import CostModel
+from repro.workloads.model import Workload
+
+from tests.taskutil import make_task, make_two_node_workload
+
+
+@pytest.fixture
+def rng():
+    return random.Random(42)
+
+
+@pytest.fixture
+def two_node_workload() -> Workload:
+    return make_two_node_workload()
+
+
+@pytest.fixture
+def zero_cost() -> CostModel:
+    return CostModel.zero()

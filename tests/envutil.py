@@ -1,0 +1,58 @@
+"""Hand-built minimal runtime environments for component unit tests.
+
+``make_env`` wires the full infrastructure (sim, network, federation,
+processors, containers) for a given node list without deploying any
+components, so tests can install and probe individual service components
+in isolation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.ccm.container import Container
+from repro.core.cost_model import CostModel
+from repro.core.runtime import RuntimeEnv
+from repro.core.strategies import StrategyCombo
+from repro.cpu.processor import Processor
+from repro.metrics.overhead import OverheadAccounting
+from repro.metrics.ratio import MetricsCollector
+from repro.net.federation import FederatedEventChannel
+from repro.net.latency import ConstantDelay
+from repro.net.network import Network
+from repro.sim.kernel import Simulator
+from repro.sim.rng import RngRegistry
+from repro.sim.tracing import Tracer
+
+
+def make_env(
+    app_nodes=("app1", "app2"),
+    manager: str = "task_manager",
+    combo_label: str = "J_N_N",
+    delay: float = 0.001,
+    cost_model: CostModel = None,
+    seed: int = 0,
+) -> Tuple[RuntimeEnv, Dict[str, Container]]:
+    sim = Simulator()
+    rngs = RngRegistry(seed)
+    network = Network(sim, rngs.stream("network"), ConstantDelay(delay))
+    federation = FederatedEventChannel(network)
+    containers: Dict[str, Container] = {}
+    tracer = Tracer(enabled=True)
+    for node in (manager,) + tuple(app_nodes):
+        federation.add_node(node)
+        containers[node] = Container(Processor(sim, node), federation, tracer)
+    env = RuntimeEnv(
+        sim=sim,
+        network=network,
+        federation=federation,
+        combo=StrategyCombo.from_label(combo_label),
+        cost_model=cost_model or CostModel.zero(),
+        rngs=rngs,
+        metrics=MetricsCollector(),
+        overhead=OverheadAccounting(),
+        tracer=tracer,
+        manager_node=manager,
+        app_nodes=list(app_nodes),
+    )
+    return env, containers

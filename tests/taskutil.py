@@ -1,0 +1,60 @@
+"""Shared task/workload factories for the test suite."""
+
+from __future__ import annotations
+
+from repro.sched.task import SubtaskSpec, TaskKind, TaskSpec
+from repro.workloads.model import Workload
+
+
+def make_task(
+    task_id: str = "T1",
+    kind: TaskKind = TaskKind.PERIODIC,
+    deadline: float = 1.0,
+    execs=(0.1,),
+    homes=("app1",),
+    replicas=None,
+    period: float = None,
+    phase: float = 0.0,
+) -> TaskSpec:
+    """Convenience task factory used across test modules."""
+    replicas = replicas or [()] * len(execs)
+    subtasks = tuple(
+        SubtaskSpec(
+            index=i,
+            execution_time=execs[i],
+            home=homes[i],
+            replicas=tuple(replicas[i]),
+        )
+        for i in range(len(execs))
+    )
+    if kind is TaskKind.PERIODIC and period is None:
+        period = deadline
+    return TaskSpec(
+        task_id=task_id,
+        kind=kind,
+        deadline=deadline,
+        subtasks=subtasks,
+        period=period,
+        phase=phase,
+    )
+
+
+def make_two_node_workload() -> Workload:
+    """One periodic chain and one aperiodic task over two processors."""
+    periodic = make_task(
+        "P1",
+        TaskKind.PERIODIC,
+        deadline=1.0,
+        execs=(0.05, 0.05),
+        homes=("app1", "app2"),
+        replicas=[("app2",), ("app1",)],
+    )
+    aperiodic = make_task(
+        "A1",
+        TaskKind.APERIODIC,
+        deadline=0.5,
+        execs=(0.02,),
+        homes=("app1",),
+        replicas=[("app2",)],
+    )
+    return Workload(tasks=(periodic, aperiodic), app_nodes=("app1", "app2"))

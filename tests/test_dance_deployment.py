@@ -1,0 +1,154 @@
+"""Integration tests for the DAnCE-lite deployment pipeline."""
+
+import pytest
+
+from repro.config.dance import (
+    DeploymentEngine,
+    ExecutionManager,
+    PlanLauncher,
+    default_repository,
+)
+from repro.config.engine import ConfigurationEngine
+from repro.config.characteristics import ApplicationCharacteristics
+from repro.config.plan import build_deployment_plan
+from repro.config.xml_io import to_xml
+from repro.core.cost_model import CostModel
+from repro.core.middleware import MiddlewareSystem
+from repro.core.strategies import StrategyCombo
+from repro.errors import DeploymentError
+from repro.net.latency import ConstantDelay
+
+from tests.taskutil import make_two_node_workload
+
+
+def deploy(label="J_T_T", **kwargs):
+    workload = make_two_node_workload()
+    plan = build_deployment_plan(workload, StrategyCombo.from_label(label))
+    kwargs.setdefault("cost_model", CostModel.zero())
+    kwargs.setdefault("delay_model", ConstantDelay(0.001))
+    return DeploymentEngine().deploy(plan, **kwargs)
+
+
+class TestDeploymentEngine:
+    def test_deploy_produces_runnable_system(self):
+        system = deploy("J_T_T", seed=3)
+        results = system.run(duration=5.0)
+        assert results.metrics.arrived_jobs > 0
+        assert results.deadline_misses == 0
+
+    def test_deploy_from_xml_string(self):
+        workload = make_two_node_workload()
+        plan = build_deployment_plan(workload, StrategyCombo.from_label("J_J_J"))
+        system = DeploymentEngine().deploy(
+            to_xml(plan),
+            seed=3,
+            cost_model=CostModel.zero(),
+            delay_model=ConstantDelay(0.001),
+        )
+        assert system.combo.label == "J_J_J"
+        results = system.run(duration=5.0)
+        assert results.metrics.arrived_jobs > 0
+
+    @pytest.mark.parametrize("label", ["T_N_N", "J_N_J", "J_J_T", "T_T_T"])
+    def test_deployment_equals_programmatic_build(self, label):
+        workload = make_two_node_workload()
+        kwargs = dict(
+            seed=9, cost_model=CostModel(), delay_model=None
+        )
+        plan = build_deployment_plan(workload, StrategyCombo.from_label(label))
+        deployed = DeploymentEngine().deploy(plan, seed=9)
+        direct = MiddlewareSystem(workload, StrategyCombo.from_label(label), seed=9)
+        a = deployed.run(duration=10.0)
+        b = direct.run(duration=10.0)
+        assert a.accepted_utilization_ratio == b.accepted_utilization_ratio
+        assert a.events_executed == b.events_executed
+
+    def test_components_configured_from_plan_properties(self):
+        system = deploy("J_J_T")
+        assert system.ac.get_attribute("ac_strategy") == "J"
+        assert system.ac.get_attribute("ir_strategy") == "J"
+        assert system.ac.get_attribute("lb_strategy") == "T"
+        assert system.lb is not None
+        te = system.env.task_effectors["app1"]
+        assert te.get_attribute("release_mode") == "per_job"
+
+    def test_no_lb_combo_deploys_without_lb(self):
+        system = deploy("J_N_N")
+        assert system.lb is None
+
+    def test_execution_manager_component_lookup(self):
+        workload = make_two_node_workload()
+        plan = build_deployment_plan(workload, StrategyCombo.from_label("J_N_N"))
+        system = MiddlewareSystem(
+            workload, StrategyCombo.from_label("J_N_N"), auto_deploy=False
+        )
+        manager = ExecutionManager(default_repository(system.env))
+        manager.execute(plan, system.containers)
+        assert manager.component("Central-AC") is not None
+        with pytest.raises(DeploymentError):
+            manager.component("ghost")
+
+    def test_plan_launcher_parses(self):
+        workload = make_two_node_workload()
+        plan = build_deployment_plan(workload, StrategyCombo.from_label("J_N_N"))
+        assert PlanLauncher.parse(to_xml(plan)) == plan
+
+
+class TestConfigurationEngineEndToEnd:
+    def test_characteristics_to_running_system(self):
+        engine = ConfigurationEngine()
+        chars = ApplicationCharacteristics(
+            job_skipping=True,
+            replicated_components=True,
+            state_persistence=False,
+        )
+        result = engine.configure(make_two_node_workload(), chars)
+        assert result.combo.label == "J_T_J"
+        system = engine.deploy(result, seed=1, cost_model=CostModel.zero())
+        run = system.run(duration=5.0)
+        assert run.metrics.arrived_jobs > 0
+
+    def test_default_configuration_is_t_t_t(self):
+        engine = ConfigurationEngine()
+        result = engine.configure(make_two_node_workload())
+        assert result.combo.label == "T_T_T"
+        assert any("default" in n for n in result.notes)
+
+    def test_explicit_combo_wins(self):
+        engine = ConfigurationEngine()
+        result = engine.configure(
+            make_two_node_workload(),
+            combo=StrategyCombo.from_label("J_J_N"),
+        )
+        assert result.combo.label == "J_J_N"
+
+    def test_unreplicated_workload_warns_about_lb(self):
+        from repro.sched.task import TaskKind
+        from repro.workloads.model import Workload
+        from tests.taskutil import make_task
+
+        bare = Workload(
+            tasks=(make_task("T", TaskKind.APERIODIC, deadline=1.0, execs=(0.1,), homes=("app1",)),),
+            app_nodes=("app1",),
+        )
+        engine = ConfigurationEngine()
+        result = engine.configure(bare, combo=StrategyCombo.from_label("J_N_T"))
+        assert any("no subtask declares replicas" in n for n in result.notes)
+
+    def test_configure_from_files(self, tmp_path):
+        from repro.config.workload_spec import workload_to_json
+
+        path = tmp_path / "workload.json"
+        path.write_text(workload_to_json(make_two_node_workload()))
+        engine = ConfigurationEngine()
+        result = engine.configure_from_files(
+            path,
+            answers={
+                "job_skipping": "Y",
+                "replicated_components": "Y",
+                "state_persistence": "N",
+                "overhead_tolerance": "PJ",
+            },
+        )
+        assert result.combo.label == "J_J_J"
+        assert "<DeploymentPlan" in result.xml

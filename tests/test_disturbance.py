@@ -1,0 +1,92 @@
+"""Tests for disturbance injection and runtime speed changes."""
+
+import pytest
+
+from repro.cpu.processor import Processor
+from repro.cpu.thread import WorkItem
+from repro.errors import SimulationError
+from repro.experiments.disturbance import (
+    run_burst_scenario,
+    run_slowdown_scenario,
+)
+from repro.sim.kernel import Simulator
+
+
+class TestSetSpeed:
+    def test_idle_speed_change(self):
+        sim = Simulator()
+        cpu = Processor(sim, "p")
+        cpu.set_speed(2.0)
+        done = []
+        t = cpu.new_thread("t", 1.0)
+        cpu.submit(t, WorkItem(4.0, lambda _: done.append(sim.now)))
+        sim.run()
+        assert done == [2.0]
+
+    def test_running_item_retimed(self):
+        sim = Simulator()
+        cpu = Processor(sim, "p")
+        done = []
+        t = cpu.new_thread("t", 1.0)
+        cpu.submit(t, WorkItem(4.0, lambda _: done.append(sim.now)))
+        # After 2 s (2 units consumed), halve the speed: remaining 2 units
+        # take 4 s -> completes at 6.
+        sim.schedule(2.0, cpu.set_speed, 0.5)
+        sim.run()
+        assert done == [6.0]
+
+    def test_speedup_mid_item(self):
+        sim = Simulator()
+        cpu = Processor(sim, "p")
+        done = []
+        t = cpu.new_thread("t", 1.0)
+        cpu.submit(t, WorkItem(4.0, lambda _: done.append(sim.now)))
+        sim.schedule(2.0, cpu.set_speed, 2.0)
+        sim.run()
+        assert done == [3.0]
+
+    def test_invalid_speed_rejected(self):
+        sim = Simulator()
+        cpu = Processor(sim, "p")
+        with pytest.raises(SimulationError):
+            cpu.set_speed(0.0)
+
+
+class TestBurstScenario:
+    def test_burst_sheds_load_without_misses(self):
+        result = run_burst_scenario(
+            duration=40.0, burst_time=10.0, burst_jobs=25, seed=3
+        )
+        assert result.deadline_misses == 0, (
+            "overload must become rejections, not missed deadlines"
+        )
+        assert result.rejected_jobs > 0, "the burst must exceed capacity"
+        assert 0.0 <= result.accepted_utilization_ratio <= 1.0
+
+    def test_burst_lowers_acceptance_vs_baseline(self):
+        calm = run_burst_scenario(
+            duration=40.0, burst_time=10.0, burst_jobs=0, seed=3
+        )
+        stormy = run_burst_scenario(
+            duration=40.0, burst_time=10.0, burst_jobs=25, seed=3
+        )
+        assert (
+            stormy.accepted_utilization_ratio
+            < calm.accepted_utilization_ratio
+        )
+
+
+class TestSlowdownScenario:
+    def test_slowdown_breaks_the_guarantee(self):
+        result = run_slowdown_scenario(
+            duration=40.0, slowdown_time=10.0, slow_factor=0.2, seed=3
+        )
+        assert result.deadline_misses > 0, (
+            "violating the WCET assumption must surface as deadline misses"
+        )
+
+    def test_no_slowdown_keeps_guarantee(self):
+        result = run_slowdown_scenario(
+            duration=40.0, slowdown_time=10.0, slow_factor=1.0, seed=3
+        )
+        assert result.deadline_misses == 0

@@ -1,0 +1,133 @@
+"""Property-based tests (hypothesis) for the AUB machinery."""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sched.aub import (
+    AubAnalyzer,
+    SyntheticUtilizationLedger,
+    aub_term,
+    task_condition_holds,
+)
+
+utilizations = st.floats(
+    min_value=0.0, max_value=0.999, allow_nan=False, allow_infinity=False
+)
+
+small_utils = st.floats(min_value=0.0, max_value=0.4, allow_nan=False)
+
+
+class TestAubTermProperties:
+    @given(utilizations)
+    def test_term_nonnegative_and_finite_below_one(self, u):
+        value = aub_term(u)
+        assert value >= 0.0
+        assert math.isfinite(value)
+
+    @given(utilizations, utilizations)
+    def test_term_monotone(self, a, b):
+        lo, hi = sorted((a, b))
+        assert aub_term(lo) <= aub_term(hi)
+
+    @given(utilizations)
+    def test_term_dominates_utilization(self, u):
+        # f(u) >= u for all u in [0, 1): the synthetic utilization term is
+        # never smaller than the utilization itself.
+        assert aub_term(u) >= u - 1e-12
+
+    @given(st.lists(small_utils, max_size=2))
+    def test_condition_holds_for_light_paths(self, utils):
+        # Paths of <= 2 stages at <= 0.4 utilization always satisfy (1):
+        # 2 * f(0.4) = 1.0666... is the boundary, f(0.4) alone is 0.533.
+        if sum(aub_term(u) for u in utils) <= 1.0:
+            assert task_condition_holds(utils)
+
+    @given(st.lists(utilizations, min_size=1, max_size=6))
+    def test_condition_equivalent_to_sum(self, utils):
+        expected = sum(aub_term(u) for u in utils) <= 1.0 + 1e-9
+        assert task_condition_holds(utils) == expected
+
+
+class TestLedgerProperties:
+    @given(
+        st.lists(
+            st.tuples(
+                st.sampled_from(["a", "b", "c"]),
+                st.integers(min_value=0, max_value=30),
+                st.floats(min_value=0.001, max_value=0.2, allow_nan=False),
+            ),
+            max_size=40,
+        )
+    )
+    def test_total_is_sum_of_live_contributions(self, ops):
+        """Adding then removing arbitrary contributions keeps the ledger
+        total equal to the sum of live entries (no drift, never negative)."""
+        ledger = SyntheticUtilizationLedger(["a", "b", "c"])
+        live = {}
+        for node, key_id, value in ops:
+            key = ("T", key_id, 0)
+            if (node, key) in live:
+                ledger.remove(node, key)
+                del live[(node, key)]
+            else:
+                ledger.add(node, key, value)
+                live[(node, key)] = value
+        for node in ("a", "b", "c"):
+            expected = sum(v for (n, _k), v in live.items() if n == node)
+            assert ledger.utilization(node) >= 0.0
+            assert abs(ledger.utilization(node) - expected) < 1e-9
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=10),
+                st.floats(min_value=0.001, max_value=0.3, allow_nan=False),
+            ),
+            min_size=1,
+            max_size=30,
+        )
+    )
+    def test_remove_is_exact_inverse_of_add(self, entries):
+        ledger = SyntheticUtilizationLedger(["a"])
+        for i, (key_id, value) in enumerate(entries):
+            ledger.add("a", ("T", i, key_id), value)
+        for i, (key_id, value) in enumerate(entries):
+            ledger.remove("a", ("T", i, key_id))
+        assert ledger.utilization("a") == 0.0
+        assert ledger.contribution_count("a") == 0
+
+
+class TestAnalyzerProperties:
+    @settings(max_examples=50)
+    @given(
+        st.lists(
+            st.tuples(
+                st.lists(st.sampled_from(["a", "b"]), min_size=1, max_size=3),
+                st.floats(min_value=0.01, max_value=0.5, allow_nan=False),
+            ),
+            max_size=15,
+        )
+    )
+    def test_admitted_set_always_satisfies_condition(self, candidates):
+        """Greedily admitting candidates through the analyzer keeps
+        condition (1) true for every admitted task — the core AUB
+        invariant the middleware relies on."""
+        ledger = SyntheticUtilizationLedger(["a", "b"])
+        analyzer = AubAnalyzer(ledger)
+        admitted = []
+        for i, (visits, per_stage) in enumerate(candidates):
+            contribs = {}
+            for node in visits:
+                contribs[node] = contribs.get(node, 0.0) + per_stage
+            if analyzer.admissible(visits, contribs, now=0.0):
+                for j, node in enumerate(visits):
+                    ledger.add(node, (f"T{i}", 0, j), per_stage)
+                analyzer.register((f"T{i}", 0), visits, None)
+                admitted.append(visits)
+        totals = ledger.snapshot()
+        for visits in admitted:
+            assert task_condition_holds([totals[n] for n in visits])
+        for node, total in totals.items():
+            assert total < 1.0

@@ -1,0 +1,219 @@
+"""Unit tests for AUB analysis: term, ledger, analyzer."""
+
+import math
+
+import pytest
+
+from repro.errors import SchedulingError
+from repro.sched.aub import (
+    RESERVED,
+    AubAnalyzer,
+    SyntheticUtilizationLedger,
+    aub_term,
+    task_condition_holds,
+)
+
+
+# ----------------------------------------------------------------------
+# aub_term — the f(u) = u(1-u/2)/(1-u) term of condition (1)
+# ----------------------------------------------------------------------
+class TestAubTerm:
+    def test_zero(self):
+        assert aub_term(0.0) == 0.0
+
+    def test_known_value(self):
+        # f(0.5) = 0.5 * 0.75 / 0.5 = 0.75
+        assert aub_term(0.5) == pytest.approx(0.75)
+
+    def test_monotonically_increasing(self):
+        values = [aub_term(u / 100) for u in range(0, 100)]
+        assert all(b > a for a, b in zip(values, values[1:]))
+
+    def test_saturation_gives_infinity(self):
+        assert aub_term(1.0) == math.inf
+        assert aub_term(1.5) == math.inf
+
+    def test_negative_rejected(self):
+        with pytest.raises(SchedulingError):
+            aub_term(-0.1)
+
+    def test_single_stage_bound(self):
+        # For a single-stage task, f(u) <= 1 iff u <= 2 - sqrt(2) ~ 0.586
+        # (the classic aperiodic utilization bound for one processor).
+        bound = 2 - math.sqrt(2)
+        assert aub_term(bound) == pytest.approx(1.0, abs=1e-9)
+        assert task_condition_holds([bound - 1e-9])
+        assert not task_condition_holds([bound + 1e-6])
+
+
+class TestTaskCondition:
+    def test_empty_visits_hold(self):
+        assert task_condition_holds([])
+
+    def test_multi_stage_sum(self):
+        # Two stages at 0.5: 0.75 + 0.75 = 1.5 > 1 -> fails.
+        assert not task_condition_holds([0.5, 0.5])
+        # Two stages at 0.3: f(0.3) = 0.3*0.85/0.7 ~ 0.364 -> 0.729 <= 1.
+        assert task_condition_holds([0.3, 0.3])
+
+    def test_saturated_stage_fails(self):
+        assert not task_condition_holds([1.0])
+
+
+# ----------------------------------------------------------------------
+# SyntheticUtilizationLedger
+# ----------------------------------------------------------------------
+class TestLedger:
+    def make(self, track_time=False):
+        return SyntheticUtilizationLedger(["a", "b"], track_time=track_time)
+
+    def test_starts_empty(self):
+        ledger = self.make()
+        assert ledger.utilization("a") == 0.0
+        assert ledger.snapshot() == {"a": 0.0, "b": 0.0}
+
+    def test_add_accrues(self):
+        ledger = self.make()
+        ledger.add("a", ("T", 0, 0), 0.2)
+        ledger.add("a", ("T", 0, 1), 0.1)
+        assert ledger.utilization("a") == pytest.approx(0.3)
+        assert ledger.utilization("b") == 0.0
+
+    def test_duplicate_key_rejected(self):
+        ledger = self.make()
+        ledger.add("a", ("T", 0, 0), 0.2)
+        with pytest.raises(SchedulingError):
+            ledger.add("a", ("T", 0, 0), 0.2)
+
+    def test_same_key_different_nodes_allowed(self):
+        ledger = self.make()
+        ledger.add("a", ("T", 0, 0), 0.2)
+        ledger.add("b", ("T", 0, 0), 0.2)
+        assert ledger.utilization("b") == pytest.approx(0.2)
+
+    def test_remove_returns_presence(self):
+        ledger = self.make()
+        ledger.add("a", ("T", 0, 0), 0.2)
+        assert ledger.remove("a", ("T", 0, 0))
+        assert not ledger.remove("a", ("T", 0, 0))
+        assert ledger.utilization("a") == 0.0
+
+    def test_negative_contribution_rejected(self):
+        ledger = self.make()
+        with pytest.raises(SchedulingError):
+            ledger.add("a", ("T", 0, 0), -0.1)
+
+    def test_unknown_node_rejected(self):
+        ledger = self.make()
+        with pytest.raises(SchedulingError):
+            ledger.add("zz", ("T", 0, 0), 0.1)
+        with pytest.raises(SchedulingError):
+            ledger.utilization("zz")
+
+    def test_contains(self):
+        ledger = self.make()
+        ledger.add("a", ("T", 0, 0), 0.2)
+        assert ledger.contains("a", ("T", 0, 0))
+        assert not ledger.contains("b", ("T", 0, 0))
+
+    def test_contribution_count(self):
+        ledger = self.make()
+        ledger.add("a", ("T", 0, 0), 0.2)
+        ledger.add("a", ("T", 1, 0), 0.2)
+        assert ledger.contribution_count("a") == 2
+
+    def test_time_weighted_average(self):
+        ledger = self.make(track_time=True)
+        ledger.add("a", ("T", 0, 0), 0.4, now=0.0)
+        ledger.remove("a", ("T", 0, 0), now=5.0)
+        assert ledger.average_utilization("a", 10.0) == pytest.approx(0.2)
+
+    def test_average_requires_tracking(self):
+        ledger = self.make(track_time=False)
+        with pytest.raises(SchedulingError):
+            ledger.average_utilization("a", 1.0)
+
+    def test_needs_at_least_one_node(self):
+        with pytest.raises(SchedulingError):
+            SyntheticUtilizationLedger([])
+
+
+# ----------------------------------------------------------------------
+# AubAnalyzer
+# ----------------------------------------------------------------------
+class TestAnalyzer:
+    def make(self):
+        ledger = SyntheticUtilizationLedger(["a", "b"])
+        return ledger, AubAnalyzer(ledger)
+
+    def test_empty_system_admits_feasible_task(self):
+        _ledger, analyzer = self.make()
+        assert analyzer.admissible(["a"], {"a": 0.3}, now=0.0)
+
+    def test_candidate_over_bound_rejected(self):
+        _ledger, analyzer = self.make()
+        # Two stages at 0.5 each on the same processor: U=1 -> saturated.
+        assert not analyzer.admissible(["a", "a"], {"a": 1.0}, now=0.0)
+
+    def test_existing_task_protected(self):
+        ledger, analyzer = self.make()
+        # Existing two-stage task at 0.3 per stage: sum f(0.3)*2 ~ 0.73.
+        ledger.add("a", ("T1", 0, 0), 0.3)
+        ledger.add("b", ("T1", 0, 1), 0.3)
+        analyzer.register(("T1", 0), ["a", "b"], expiry=100.0)
+        # Candidate pushing processor "a" to 0.75 would be fine for itself
+        # (single stage: f(0.75) ~ 1.875 > 1 actually fails)...
+        assert not analyzer.admissible(["a"], {"a": 0.45}, now=0.0)
+        # A small candidate on "a" keeps everyone schedulable.
+        assert analyzer.admissible(["a"], {"a": 0.1}, now=0.0)
+
+    def test_candidate_rejected_when_it_breaks_existing_task(self):
+        ledger, analyzer = self.make()
+        # Existing task visits both processors at 0.4: 2*f(0.4) ~ 1.07 > 1?
+        # f(0.4) = 0.4*0.8/0.6 = 0.5333 -> 1.067 > 1. Use 0.35 instead:
+        # f(0.35) = 0.35*0.825/0.65 = 0.4442 -> 0.888 <= 1. OK.
+        ledger.add("a", ("T1", 0, 0), 0.35)
+        ledger.add("b", ("T1", 0, 1), 0.35)
+        analyzer.register(("T1", 0), ["a", "b"], expiry=100.0)
+        # Candidate only visits "a" and is fine alone, but pushes T1 over.
+        # After adding 0.2 to "a": f(0.55)+f(0.35) = 0.886+0.444 = 1.33 > 1.
+        assert not analyzer.admissible(["a"], {"a": 0.2}, now=0.0)
+
+    def test_expired_registrations_pruned(self):
+        ledger, analyzer = self.make()
+        ledger.add("a", ("T1", 0, 0), 0.35)
+        ledger.add("b", ("T1", 0, 1), 0.35)
+        analyzer.register(("T1", 0), ["a", "b"], expiry=10.0)
+        assert analyzer.registered == 1
+        # After expiry (contributions would also have been removed).
+        ledger.remove("a", ("T1", 0, 0))
+        ledger.remove("b", ("T1", 0, 1))
+        assert analyzer.admissible(["a"], {"a": 0.2}, now=11.0)
+        assert analyzer.registered == 0
+
+    def test_exclude_skips_relocating_task(self):
+        ledger, analyzer = self.make()
+        ledger.add("a", ("T1", RESERVED, 0), 0.5)
+        analyzer.register(("T1", RESERVED), ["a"], expiry=None)
+        # Moving T1 from "a" to "b": delta -0.5 on a, +0.5 on b.
+        assert analyzer.admissible(
+            ["b"], {"a": -0.5, "b": 0.5}, now=0.0, exclude=("T1", RESERVED)
+        )
+
+    def test_negative_delta_clamps_at_zero(self):
+        _ledger, analyzer = self.make()
+        # A bogus negative delta on an empty node must not produce a
+        # negative utilization in the hypothetical totals.
+        assert analyzer.admissible(["a"], {"a": -0.2}, now=0.0)
+
+    def test_unregister(self):
+        _ledger, analyzer = self.make()
+        analyzer.register(("T1", 0), ["a"], expiry=None)
+        analyzer.unregister(("T1", 0))
+        assert analyzer.registered == 0
+
+    def test_tests_performed_counter(self):
+        _ledger, analyzer = self.make()
+        analyzer.admissible(["a"], {"a": 0.1}, now=0.0)
+        analyzer.admissible(["a"], {"a": 0.1}, now=0.0)
+        assert analyzer.tests_performed == 2

@@ -1,0 +1,61 @@
+"""Tests for the sensitivity sweeps (scaled down)."""
+
+import pytest
+
+from repro.core.strategies import StrategyCombo
+from repro.experiments.sensitivity import (
+    sweep_load,
+    sweep_network_delay,
+    sweep_overhead,
+)
+
+
+class TestLoadSweep:
+    def test_heavier_load_lowers_acceptance(self):
+        result = sweep_load(
+            factors=(4.0, 1.0, 0.5), duration=40.0, seed=3
+        )
+        ratios = result.ratios()
+        assert ratios[0] > ratios[-1], "light load must be accepted more"
+        assert result.monotone_decreasing()
+
+    def test_points_carry_parameters(self):
+        result = sweep_load(factors=(2.0,), duration=20.0)
+        assert result.points[0][0] == 2.0
+        assert result.parameter == "aperiodic_interarrival_factor"
+
+
+class TestOverheadSweep:
+    def test_calibrated_overheads_negligible(self):
+        result = sweep_overhead(scales=(0.0, 1.0), duration=40.0, seed=3)
+        zero, calibrated = result.ratios()
+        assert calibrated == pytest.approx(zero, abs=0.05)
+
+    def test_extreme_overheads_do_not_break_invariants(self):
+        result = sweep_overhead(scales=(100.0,), duration=20.0, seed=3)
+        assert 0.0 <= result.ratios()[0] <= 1.0
+
+
+class TestDelaySweep:
+    def test_small_delays_equivalent(self):
+        points = sweep_network_delay(
+            delays=(0.0003, 0.001), duration=40.0, seed=3
+        )
+        assert points[0].accepted_utilization_ratio == pytest.approx(
+            points[1].accepted_utilization_ratio, abs=0.05
+        )
+
+    def test_large_delay_breaks_admission_guarantee(self):
+        """At LAN-scale delays the AUB guarantee holds; at 50 ms one-way
+        the centralized AC's view goes stale and deadline misses appear —
+        the scalability limit the paper's section 3 discussion alludes to."""
+        points = sweep_network_delay(
+            delays=(0.001, 0.05), duration=40.0, seed=3
+        )
+        assert points[0].deadline_misses == 0
+        assert points[1].deadline_misses > 0
+
+    def test_results_in_range(self):
+        for p in sweep_network_delay(delays=(0.001,), duration=20.0, seed=3):
+            assert 0.0 <= p.accepted_utilization_ratio <= 1.0
+            assert p.deadline_misses >= 0

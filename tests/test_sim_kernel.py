@@ -1,0 +1,178 @@
+"""Unit tests for the discrete-event simulation kernel."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.kernel import DEFAULT_PRIORITY, MSEC, USEC, Simulator
+
+
+def test_time_starts_at_zero():
+    sim = Simulator()
+    assert sim.now == 0.0
+
+
+def test_events_fire_in_time_order():
+    sim = Simulator()
+    fired = []
+    sim.schedule(2.0, fired.append, "late")
+    sim.schedule(1.0, fired.append, "early")
+    sim.schedule(1.5, fired.append, "middle")
+    sim.run()
+    assert fired == ["early", "middle", "late"]
+
+
+def test_clock_advances_to_event_time():
+    sim = Simulator()
+    seen = []
+    sim.schedule(3.25, lambda: seen.append(sim.now))
+    sim.run()
+    assert seen == [3.25]
+    assert sim.now == 3.25
+
+
+def test_same_time_events_fire_in_priority_then_fifo_order():
+    sim = Simulator()
+    fired = []
+    sim.schedule(1.0, fired.append, "a")
+    sim.schedule(1.0, fired.append, "hi", priority=1)
+    sim.schedule(1.0, fired.append, "b")
+    sim.run()
+    assert fired == ["hi", "a", "b"]
+
+
+def test_schedule_at_absolute_time():
+    sim = Simulator()
+    fired = []
+    sim.schedule_at(5.0, fired.append, "x")
+    sim.run()
+    assert sim.now == 5.0 and fired == ["x"]
+
+
+def test_cannot_schedule_in_the_past():
+    sim = Simulator()
+    sim.schedule(1.0, lambda: None)
+    sim.run()
+    with pytest.raises(SimulationError):
+        sim.schedule_at(0.5, lambda: None)
+    with pytest.raises(SimulationError):
+        sim.schedule(-0.1, lambda: None)
+
+
+def test_cancel_prevents_firing():
+    sim = Simulator()
+    fired = []
+    handle = sim.schedule(1.0, fired.append, "cancelled")
+    sim.schedule(2.0, fired.append, "kept")
+    handle.cancel()
+    assert handle.cancelled
+    sim.run()
+    assert fired == ["kept"]
+
+
+def test_cancel_is_idempotent():
+    sim = Simulator()
+    handle = sim.schedule(1.0, lambda: None)
+    handle.cancel()
+    handle.cancel()
+    sim.run()
+    assert sim.events_executed == 0
+
+
+def test_run_until_stops_and_advances_clock():
+    sim = Simulator()
+    fired = []
+    sim.schedule(1.0, fired.append, "in")
+    sim.schedule(10.0, fired.append, "out")
+    sim.run(until=5.0)
+    assert fired == ["in"]
+    assert sim.now == 5.0
+    assert sim.pending_events == 1
+
+
+def test_run_until_can_be_resumed():
+    sim = Simulator()
+    fired = []
+    sim.schedule(1.0, fired.append, "a")
+    sim.schedule(10.0, fired.append, "b")
+    sim.run(until=5.0)
+    sim.run()
+    assert fired == ["a", "b"]
+
+
+def test_events_scheduled_during_run_fire():
+    sim = Simulator()
+    fired = []
+
+    def chain():
+        fired.append(sim.now)
+        if sim.now < 3.0:
+            sim.schedule(1.0, chain)
+
+    sim.schedule(1.0, chain)
+    sim.run()
+    assert fired == [1.0, 2.0, 3.0]
+
+
+def test_step_fires_single_event():
+    sim = Simulator()
+    fired = []
+    sim.schedule(1.0, fired.append, 1)
+    sim.schedule(2.0, fired.append, 2)
+    assert sim.step()
+    assert fired == [1]
+    assert sim.step()
+    assert not sim.step()
+
+
+def test_max_events_bounds_dispatch():
+    sim = Simulator()
+    for i in range(10):
+        sim.schedule(float(i + 1), lambda: None)
+    sim.run(max_events=4)
+    assert sim.events_executed == 4
+
+
+def test_drain_discards_pending():
+    sim = Simulator()
+    fired = []
+    sim.schedule(1.0, fired.append, "x")
+    sim.drain()
+    sim.run()
+    assert fired == []
+
+
+def test_simulator_not_reentrant():
+    sim = Simulator()
+    errors = []
+
+    def nested():
+        try:
+            sim.run()
+        except SimulationError as exc:
+            errors.append(exc)
+
+    sim.schedule(1.0, nested)
+    sim.run()
+    assert len(errors) == 1
+
+
+def test_event_count_tracks_dispatches():
+    sim = Simulator()
+    for i in range(5):
+        sim.schedule(float(i + 1), lambda: None)
+    sim.run()
+    assert sim.events_executed == 5
+
+
+def test_unit_constants():
+    assert USEC == pytest.approx(1e-6)
+    assert MSEC == pytest.approx(1e-3)
+    assert DEFAULT_PRIORITY == 100
+
+
+def test_zero_delay_event_fires_at_now():
+    sim = Simulator()
+    fired = []
+    sim.schedule(1.0, lambda: sim.schedule(0.0, fired.append, sim.now))
+    sim.run()
+    assert fired == [1.0]

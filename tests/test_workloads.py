@@ -1,0 +1,223 @@
+"""Unit tests for workload models, arrival plans and generators."""
+
+import random
+
+import pytest
+
+from repro.errors import WorkloadSpecError
+from repro.sched.task import TaskKind
+from repro.workloads.arrivals import (
+    build_arrival_plan,
+    periodic_arrivals,
+    poisson_arrivals,
+)
+from repro.workloads.generator import (
+    RandomWorkloadParams,
+    generate_random_workload,
+)
+from repro.workloads.imbalanced import (
+    ImbalancedWorkloadParams,
+    generate_imbalanced_workload,
+)
+from repro.workloads.model import Workload
+
+from tests.taskutil import make_task, make_two_node_workload
+
+
+# ----------------------------------------------------------------------
+# Workload model
+# ----------------------------------------------------------------------
+class TestWorkloadModel:
+    def test_valid_workload(self):
+        wl = make_two_node_workload()
+        assert wl.task("P1").task_id == "P1"
+        assert len(wl.periodic_tasks) == 1
+        assert len(wl.aperiodic_tasks) == 1
+        assert wl.replicated()
+
+    def test_unknown_task_lookup(self):
+        with pytest.raises(WorkloadSpecError):
+            make_two_node_workload().task("nope")
+
+    def test_empty_tasks_rejected(self):
+        with pytest.raises(WorkloadSpecError):
+            Workload(tasks=(), app_nodes=("a",))
+
+    def test_duplicate_task_ids_rejected(self):
+        t = make_task("X", homes=("a",))
+        with pytest.raises(WorkloadSpecError):
+            Workload(tasks=(t, t), app_nodes=("a",))
+
+    def test_unknown_processor_rejected(self):
+        t = make_task("X", homes=("ghost",))
+        with pytest.raises(WorkloadSpecError):
+            Workload(tasks=(t,), app_nodes=("a",))
+
+    def test_manager_cannot_be_app_node(self):
+        t = make_task("X", homes=("a",))
+        with pytest.raises(WorkloadSpecError):
+            Workload(tasks=(t,), app_nodes=("a",), manager_node="a")
+
+    def test_static_utilization(self):
+        wl = make_two_node_workload()
+        util = wl.static_utilization()
+        # P1: 0.05/1.0 on each node; A1: 0.02/0.5 = 0.04 on app1.
+        assert util["app1"] == pytest.approx(0.09)
+        assert util["app2"] == pytest.approx(0.05)
+
+
+# ----------------------------------------------------------------------
+# Arrival plans
+# ----------------------------------------------------------------------
+class TestArrivals:
+    def test_periodic_arrivals_spacing(self):
+        task = make_task("P", TaskKind.PERIODIC, deadline=2.0, phase=0.5)
+        times = periodic_arrivals(task, horizon=10.0)
+        assert times == [0.5, 2.5, 4.5, 6.5, 8.5]
+
+    def test_periodic_arrivals_need_periodic_task(self):
+        task = make_task("A", TaskKind.APERIODIC)
+        with pytest.raises(WorkloadSpecError):
+            periodic_arrivals(task, 10.0)
+
+    def test_poisson_arrivals_in_horizon(self, rng):
+        task = make_task("A", TaskKind.APERIODIC, deadline=1.0)
+        times = poisson_arrivals(task, 100.0, 2.0, rng)
+        assert all(0 <= t < 100.0 for t in times)
+        assert times == sorted(times)
+
+    def test_poisson_rate_approximation(self, rng):
+        task = make_task("A", TaskKind.APERIODIC, deadline=1.0)
+        times = poisson_arrivals(task, 10000.0, 2.0, rng)
+        # ~5000 arrivals expected with mean interarrival 2.
+        assert 4500 < len(times) < 5500
+
+    def test_poisson_requires_positive_mean(self, rng):
+        task = make_task("A", TaskKind.APERIODIC)
+        with pytest.raises(WorkloadSpecError):
+            poisson_arrivals(task, 10.0, 0.0, rng)
+
+    def test_plan_covers_all_tasks(self, rng):
+        wl = make_two_node_workload()
+        plan = build_arrival_plan(wl, 20.0, rng)
+        assert set(plan.times) == {"P1", "A1"}
+        assert plan.total_jobs == sum(len(v) for v in plan.times.values())
+
+    def test_plan_events_sorted(self, rng):
+        wl = make_two_node_workload()
+        plan = build_arrival_plan(wl, 20.0, rng)
+        events = list(plan.events())
+        assert events == sorted(events)
+
+    def test_plan_requires_positive_horizon(self, rng):
+        with pytest.raises(WorkloadSpecError):
+            build_arrival_plan(make_two_node_workload(), 0.0, rng)
+
+    def test_interarrival_factor_scales_load(self):
+        wl = make_two_node_workload()
+        fast = build_arrival_plan(wl, 500.0, random.Random(1), 1.0)
+        slow = build_arrival_plan(wl, 500.0, random.Random(1), 4.0)
+        assert len(fast.times["A1"]) > 2 * len(slow.times["A1"])
+
+
+# ----------------------------------------------------------------------
+# Section 7.1 random workload generator
+# ----------------------------------------------------------------------
+class TestRandomGenerator:
+    def test_paper_defaults(self, rng):
+        wl = generate_random_workload(rng)
+        assert len(wl.tasks) == 9
+        assert len(wl.periodic_tasks) == 5
+        assert len(wl.aperiodic_tasks) == 4
+        assert len(wl.app_nodes) == 5
+
+    def test_utilization_calibrated(self, rng):
+        wl = generate_random_workload(rng)
+        for node, util in wl.static_utilization().items():
+            assert util == pytest.approx(0.5, abs=1e-9), node
+
+    def test_subtask_count_range(self, rng):
+        for _ in range(5):
+            wl = generate_random_workload(rng)
+            for task in wl.tasks:
+                assert 1 <= task.n_subtasks <= 5
+
+    def test_deadline_range_and_period_equals_deadline(self, rng):
+        wl = generate_random_workload(rng)
+        for task in wl.tasks:
+            assert 0.25 <= task.deadline <= 10.0
+            if task.is_periodic:
+                assert task.period == task.deadline
+
+    def test_every_subtask_has_one_replica_elsewhere(self, rng):
+        wl = generate_random_workload(rng)
+        for task in wl.tasks:
+            for subtask in task.subtasks:
+                assert len(subtask.replicas) == 1
+                assert subtask.replicas[0] != subtask.home
+
+    def test_deterministic_for_same_rng_seed(self):
+        a = generate_random_workload(random.Random(5))
+        b = generate_random_workload(random.Random(5))
+        assert a == b
+
+    def test_custom_target_utilization(self, rng):
+        params = RandomWorkloadParams(target_utilization=0.3)
+        wl = generate_random_workload(rng, params)
+        for util in wl.static_utilization().values():
+            assert util == pytest.approx(0.3, abs=1e-9)
+
+    def test_phases_inside_period(self, rng):
+        wl = generate_random_workload(rng)
+        for task in wl.periodic_tasks:
+            assert 0 <= task.phase < task.period
+
+    def test_phase_randomization_can_be_disabled(self, rng):
+        params = RandomWorkloadParams(randomize_phases=False)
+        wl = generate_random_workload(rng, params)
+        assert all(t.phase == 0.0 for t in wl.periodic_tasks)
+
+    def test_param_validation(self):
+        with pytest.raises(WorkloadSpecError):
+            RandomWorkloadParams(n_periodic=0, n_aperiodic=0)
+        with pytest.raises(WorkloadSpecError):
+            RandomWorkloadParams(target_utilization=1.5)
+        with pytest.raises(WorkloadSpecError):
+            RandomWorkloadParams(min_subtasks=3, max_subtasks=2)
+        with pytest.raises(WorkloadSpecError):
+            RandomWorkloadParams(n_processors=2, replicas_per_subtask=2)
+
+
+# ----------------------------------------------------------------------
+# Section 7.2 imbalanced workload generator
+# ----------------------------------------------------------------------
+class TestImbalancedGenerator:
+    def test_paper_defaults(self, rng):
+        wl = generate_imbalanced_workload(rng)
+        assert len(wl.app_nodes) == 5
+        util = wl.static_utilization()
+        loaded = [n for n, u in util.items() if u > 0]
+        empty = [n for n, u in util.items() if u == 0]
+        assert len(loaded) == 3 and len(empty) == 2
+        for node in loaded:
+            assert util[node] == pytest.approx(0.7, abs=1e-9)
+
+    def test_replicas_all_on_replica_group(self, rng):
+        wl = generate_imbalanced_workload(rng)
+        replica_nodes = {"app4", "app5"}
+        for task in wl.tasks:
+            for subtask in task.subtasks:
+                assert len(subtask.replicas) == 1
+                assert subtask.replicas[0] in replica_nodes
+                assert subtask.home not in replica_nodes
+
+    def test_subtasks_between_one_and_three(self, rng):
+        wl = generate_imbalanced_workload(rng)
+        for task in wl.tasks:
+            assert 1 <= task.n_subtasks <= 3
+
+    def test_param_validation(self):
+        with pytest.raises(WorkloadSpecError):
+            ImbalancedWorkloadParams(n_loaded_processors=0)
+        with pytest.raises(WorkloadSpecError):
+            ImbalancedWorkloadParams(target_utilization=0.0)
