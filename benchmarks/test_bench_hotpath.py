@@ -1,0 +1,169 @@
+"""Benchmark: hot-path microbenchmarks — kernel throughput and admission
+tests/sec, incremental vs naive.
+
+Tracks the perf trajectory of the two paths that dominate paper-scale
+wall-clock:
+
+* **Kernel event throughput** — dispatch rate of the discrete-event heap
+  (events/sec) with a self-rescheduling workload plus cancellation churn.
+* **Admission test throughput** — ``admissible()`` calls/sec at 10/100/1000
+  registered tasks for both the incremental :class:`AubAnalyzer` and the
+  retained :class:`NaiveAubAnalyzer` reference, with ledger churn between
+  tests so cache invalidation is part of the measured cost.
+
+Prints a table and writes ``BENCH_hotpath.json`` at the repo root so the
+numbers are comparable across PRs.  The acceptance floor asserted here:
+incremental admission must be at least 5x the naive path at 1000
+registered tasks.
+"""
+
+import json
+import os
+import random
+import time
+from pathlib import Path
+
+from repro.sched.aub import (
+    AubAnalyzer,
+    NaiveAubAnalyzer,
+    SyntheticUtilizationLedger,
+)
+from repro.sim.kernel import Simulator
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+RESULT_FILE = REPO_ROOT / "BENCH_hotpath.json"
+
+#: Registered-task scales for the admission benchmark.
+SCALES = (10, 100, 1000)
+
+#: Per-measurement wall-clock window; lengthen on noisy shared runners
+#: (CI sets 1.0) so scheduling jitter cannot flake the speedup floor.
+WINDOW_S = float(os.environ.get("REPRO_BENCH_HOTPATH_SECONDS", "0.4"))
+
+
+# ----------------------------------------------------------------------
+# Scenario construction
+# ----------------------------------------------------------------------
+def _nodes_for(n_tasks: int):
+    """A deployment sized like a large testbed: more tasks, more nodes."""
+    return [f"P{i}" for i in range(max(8, n_tasks // 16))]
+
+
+def _populate(analyzer_cls, n_tasks: int, seed: int = 42):
+    """Build a ledger + analyzer with ``n_tasks`` registered tasks.
+
+    Identical seeds produce identical state for both analyzer classes, so
+    the two implementations face exactly the same workload.
+    """
+    rng = random.Random(seed)
+    nodes = _nodes_for(n_tasks)
+    ledger = SyntheticUtilizationLedger(nodes)
+    analyzer = analyzer_cls(ledger)
+    budget_per_node = 0.5  # keep well below saturation so tests do work
+    per_stage = budget_per_node * len(nodes) / (n_tasks * 3.0)
+    for i in range(n_tasks):
+        n_stages = rng.randint(1, 3)
+        visits = rng.sample(nodes, n_stages)
+        key = (f"T{i}", 0)
+        for j, node in enumerate(visits):
+            ledger.add(node, (key[0], key[1], j), per_stage)
+        analyzer.register(key, visits, expiry=1e12)  # never expires in-run
+    return ledger, analyzer, nodes, rng
+
+
+def _measure_admission(analyzer_cls, n_tasks: int, duration_s: float = WINDOW_S):
+    """admissible() calls/sec with ledger churn every 8th test."""
+    ledger, analyzer, nodes, rng = _populate(analyzer_cls, n_tasks)
+    # Pre-build candidate probes so RNG cost is off the clock.
+    probes = []
+    for i in range(256):
+        n_stages = rng.randint(1, 3)
+        visits = rng.sample(nodes, n_stages)
+        contribs = {node: 0.01 for node in visits}
+        probes.append((visits, contribs))
+    churn_key = ("churn", 0, 0)
+    churn_node = nodes[0]
+    count = 0
+    start = time.perf_counter()
+    deadline = start + duration_s
+    while time.perf_counter() < deadline:
+        visits, contribs = probes[count % 256]
+        analyzer.admissible(visits, contribs, now=0.0)
+        count += 1
+        if count % 8 == 0:
+            # Ledger churn: exercise cache invalidation on the hot node.
+            ledger.add(churn_node, churn_key, 0.01)
+            ledger.remove(churn_node, churn_key)
+    elapsed = time.perf_counter() - start
+    return count / elapsed
+
+
+def _measure_kernel(n_events: int = 120_000):
+    """Kernel dispatch throughput (events/sec) with rescheduling + cancels."""
+    sim = Simulator()
+
+    def tick(remaining):
+        if remaining > 0:
+            handle = sim.schedule(0.001, tick, remaining - 1)
+            if remaining % 5 == 0:
+                # Cancellation churn: dead entries must be swept cheaply.
+                victim = sim.schedule(0.0005, tick, 0)
+                victim.cancel()
+
+    for lane in range(8):
+        sim.schedule(lane * 0.0001, tick, n_events // 8)
+    start = time.perf_counter()
+    sim.run()
+    elapsed = time.perf_counter() - start
+    return sim.events_executed / elapsed
+
+
+# ----------------------------------------------------------------------
+# The benchmark
+# ----------------------------------------------------------------------
+def test_bench_hotpath():
+    kernel_rate = _measure_kernel()
+
+    admission = {}
+    for n_tasks in SCALES:
+        naive_rate = _measure_admission(NaiveAubAnalyzer, n_tasks)
+        incremental_rate = _measure_admission(AubAnalyzer, n_tasks)
+        admission[str(n_tasks)] = {
+            "naive_tests_per_sec": naive_rate,
+            "incremental_tests_per_sec": incremental_rate,
+            "speedup": incremental_rate / naive_rate,
+        }
+
+    print()
+    print("Hot-path microbenchmarks")
+    print(f"  kernel event throughput : {kernel_rate:,.0f} events/sec")
+    header = f"  {'tasks':>6} | {'naive tests/s':>14} | {'incremental tests/s':>20} | {'speedup':>8}"
+    print(header)
+    print("  " + "-" * (len(header) - 2))
+    for n_tasks in SCALES:
+        row = admission[str(n_tasks)]
+        print(
+            f"  {n_tasks:>6} | {row['naive_tests_per_sec']:>14,.0f} | "
+            f"{row['incremental_tests_per_sec']:>20,.0f} | "
+            f"{row['speedup']:>7.1f}x"
+        )
+
+    RESULT_FILE.write_text(
+        json.dumps(
+            {
+                "kernel_events_per_sec": kernel_rate,
+                "admission": admission,
+            },
+            indent=2,
+        )
+        + "\n"
+    )
+    print(f"  wrote {RESULT_FILE.name}")
+
+    # Acceptance floor: the incremental engine must dominate at scale.
+    assert admission["1000"]["speedup"] >= 5.0, (
+        "incremental admission must be >= 5x naive at 1000 registered "
+        f"tasks, got {admission['1000']['speedup']:.1f}x"
+    )
+    # Sanity: it should never be slower even at small scale.
+    assert admission["10"]["speedup"] > 0.8

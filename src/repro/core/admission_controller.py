@@ -211,12 +211,15 @@ class AdmissionControllerComponent(Component):
             admitted = False
         else:
             admitted = self._test_and_commit(job, assignment, per_task_ac, now)
+        # The assignment dict is owned by this decision path (home/LB plans
+        # are built fresh, and nothing mutates a stored plan in place), so
+        # the record and the Accept event can share it without copying.
         if per_task_ac:
             record.admitted = admitted
-            record.assignment = dict(assignment) if admitted else None
+            record.assignment = assignment if admitted else None
         if admitted:
             if self.get_attribute("lb_strategy") == "T" and task.is_periodic:
-                record.assignment = dict(assignment)
+                record.assignment = assignment
             self._send_accept(event, assignment)
         else:
             self._send_reject(event, "AUB condition (1) would be violated")
@@ -230,7 +233,7 @@ class AdmissionControllerComponent(Component):
         if lb == "N":
             return task.home_assignment()
         if lb == "T" and task.is_periodic and record.assignment is not None:
-            return dict(record.assignment)
+            return record.assignment
         locator = self._locator()
         return locator.location(job, now)
 
@@ -302,7 +305,7 @@ class AdmissionControllerComponent(Component):
         self.analyzer.register(
             (task.task_id, RESERVED), task.visited_processors(proposed), None
         )
-        record.assignment = dict(proposed)
+        record.assignment = proposed
 
     # ------------------------------------------------------------------
     # Decision publication
@@ -324,7 +327,9 @@ class AdmissionControllerComponent(Component):
             accept_topic(release_node),
             AcceptEvent(
                 job=job,
-                assignment=dict(assignment),
+                # Receivers (task effectors) copy on receipt; the decision
+                # path owns this dict, so no defensive copy is needed here.
+                assignment=assignment,
                 arrival_node=event.arrival_node,
                 release_node=release_node,
             ),

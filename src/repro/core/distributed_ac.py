@@ -37,7 +37,9 @@ where the admission mathematics dominates.
 
 from __future__ import annotations
 
+import heapq
 import itertools
+import math
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
@@ -126,8 +128,15 @@ class DistributedAdmissionControllerComponent(Component):
         self._contribs: Dict[Tuple[str, int], float] = {}
         #: Pending phase-1 locks: txn -> utilization.
         self._locks: Dict[int, float] = {}
+        #: Running committed + locked total, maintained incrementally so
+        #: the hot admission path never re-sums the contribution maps.
+        self._total: float = 0.0
         #: Live caps from committed tasks: job key -> max allowed U here.
         self._caps: Dict[Tuple[str, int], float] = {}
+        #: (cap, job key) min-heap over ``_caps`` with lazy invalidation:
+        #: the binding (smallest) cap is read in O(1) amortized instead of
+        #: scanning every live cap per reservation.
+        self._cap_heap: List[Tuple[float, Tuple[str, int]]] = []
         self._transactions: Dict[int, _Transaction] = {}
         self._source: Optional[EventSourcePort] = None
         self._thread = None
@@ -141,14 +150,22 @@ class DistributedAdmissionControllerComponent(Component):
     @property
     def utilization(self) -> float:
         """Committed + locked synthetic utilization on this processor."""
-        return sum(self._contribs.values()) + sum(self._locks.values())
+        return self._total
+
+    def _min_live_cap(self) -> float:
+        heap = self._cap_heap
+        while heap:
+            cap, key = heap[0]
+            if self._caps.get(key) == cap:
+                return cap
+            heapq.heappop(heap)
+        return math.inf
 
     def _locally_admissible(self, delta: float) -> bool:
-        projected = self.utilization + delta
+        projected = self._total + delta
         if projected >= 1.0 - EPSILON:
             return False
-        live_caps = list(self._caps.values())
-        return all(projected <= cap + EPSILON for cap in live_caps)
+        return projected <= self._min_live_cap() + EPSILON
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -225,9 +242,10 @@ class DistributedAdmissionControllerComponent(Component):
         votes = transaction.votes
         all_granted = all(v.granted for v in votes.values())
         condition_sum = 0.0
+        job = transaction.job
+        assignment = job.task.home_assignment()
         if all_granted:
-            task = transaction.job.task
-            assignment = task.home_assignment()
+            task = job.task
             post = {node: votes[node].post_utilization for node in votes}
             condition_sum = sum(
                 aub_term(post[assignment[s.index]]) for s in task.subtasks
@@ -261,14 +279,13 @@ class DistributedAdmissionControllerComponent(Component):
                 ),
             )
         self.admitted_jobs += 1
-        job = transaction.job
-        release_node = job.task.home_assignment()[0]
+        release_node = assignment[0]
         self._source.push(
             release_node,
             accept_topic(release_node),
             AcceptEvent(
                 job=job,
-                assignment=job.task.home_assignment(),
+                assignment=assignment,
                 arrival_node=transaction.event.arrival_node,
                 release_node=release_node,
             ),
@@ -297,6 +314,7 @@ class DistributedAdmissionControllerComponent(Component):
         granted = self._locally_admissible(request.delta)
         if granted:
             self._locks[request.txn] = request.delta
+            self._total += request.delta
         vote = Vote(
             txn=request.txn,
             node=self.node,
@@ -307,20 +325,34 @@ class DistributedAdmissionControllerComponent(Component):
 
     def _on_outcome(self, outcome: Outcome) -> None:
         locked = self._locks.pop(outcome.txn, None)
-        if not outcome.commit or locked is None:
+        if locked is None:
             return
+        if not outcome.commit:
+            self._total -= locked
+            if not self._locks and not self._contribs:
+                self._total = 0.0
+            return
+        # The lock's share simply changes bucket (locked -> committed), so
+        # the running total is unchanged.
         self._contribs[outcome.job_key] = (
             self._contribs.get(outcome.job_key, 0.0) + locked
         )
         previous_cap = self._caps.get(outcome.job_key)
         cap = outcome.cap if previous_cap is None else min(previous_cap, outcome.cap)
         self._caps[outcome.job_key] = cap
+        heapq.heappush(self._cap_heap, (cap, outcome.job_key))
         self.sim.schedule_at(
             max(self.sim.now, outcome.expiry), self._expire, outcome.job_key
         )
 
     def _expire(self, job_key: Tuple[str, int]) -> None:
-        self._contribs.pop(job_key, None)
+        value = self._contribs.pop(job_key, None)
+        if value is not None:
+            self._total -= value
+            if not self._locks and not self._contribs:
+                # Snap to exactly zero so float residue cannot accumulate
+                # across commit/expire cycles (mirrors the central ledger).
+                self._total = 0.0
         self._caps.pop(job_key, None)
 
 

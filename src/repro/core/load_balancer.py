@@ -108,12 +108,13 @@ class LoadBalancerComponent(Component):
         """
         self.location_calls += 1
         state = self._state()
-        assignment, contribs = self._greedy_plan(
+        assignment, delta = self._greedy_plan(
             task, state.ledger, discount=current
         )
         if assignment == current:
             return None
-        delta = dict(contribs)
+        # The plan's contribution map is owned by this call, so the move
+        # deltas (new placement minus current reservation) fold in place.
         for subtask in task.subtasks:
             node = current[subtask.index]
             delta[node] = delta.get(node, 0.0) - task.subtask_utilization(
@@ -147,14 +148,17 @@ class LoadBalancerComponent(Component):
         added: Dict[str, float] = {}
         for subtask in task.subtasks:
             u = task.subtask_utilization(subtask.index)
-
-            def score(node: str) -> tuple:
+            current = None if discount is None else discount.get(subtask.index)
+            best = None
+            best_score = None
+            for node in subtask.eligible:
                 base = ledger.utilization(node) + added.get(node, 0.0)
-                if discount is not None and discount.get(subtask.index) == node:
+                if node == current:
                     base -= u
-                return (base, node)
-
-            best = min(subtask.eligible, key=score)
+                score = (base, node)
+                if best is None or score < best_score:
+                    best = node
+                    best_score = score
             assignment[subtask.index] = best
             added[best] = added.get(best, 0.0) + u
         return assignment, added

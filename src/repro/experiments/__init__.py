@@ -8,14 +8,20 @@
   (section 7.3).
 * :mod:`repro.experiments.table1` — criteria-to-strategy mapping.
 * :mod:`repro.experiments.ablation` — AUB vs Deferrable Server admission.
+* :mod:`repro.experiments.runner` — the shared multiprocessing fan-out all
+  of the above dispatch their independent run cells through.
 
 Each runner takes explicit duration/set-count/seed parameters so tests can
-run scaled-down versions while benchmarks run paper-scale ones.
+run scaled-down versions while benchmarks run paper-scale ones, plus an
+``n_workers`` parameter (default: ``$REPRO_WORKERS`` or the CPU count)
+controlling the parallel fan-out; results are bit-identical for every
+worker count.
 """
 
 from repro.experiments.figure5 import Figure5Result, run_figure5
 from repro.experiments.figure6 import Figure6Result, run_figure6
 from repro.experiments.figure8 import Figure8Result, run_figure8
+from repro.experiments.runner import resolve_workers, run_cells
 from repro.experiments.table1 import Table1Row, run_table1
 from repro.experiments.ablation import AblationResult, run_aub_vs_deferrable
 
@@ -30,4 +36,6 @@ __all__ = [
     "run_table1",
     "AblationResult",
     "run_aub_vs_deferrable",
+    "resolve_workers",
+    "run_cells",
 ]

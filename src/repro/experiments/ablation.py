@@ -11,14 +11,12 @@ the difference is purely the admission mathematics).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import List, Optional
 
 from repro.experiments.report import format_table
-from repro.sched.deferrable import DeferrableServerPolicy
-from repro.sched.replay import AubReplayPolicy, ReplayResult, replay
+from repro.experiments.runner import replay_cell, run_cells
 from repro.sched.task import Job
 from repro.sim.rng import RngRegistry
-from repro.workloads.arrivals import build_arrival_plan
 from repro.workloads.generator import RandomWorkloadParams, generate_random_workload
 from repro.workloads.model import Workload
 
@@ -74,6 +72,7 @@ def run_aub_vs_deferrable(
     aperiodic_interarrival_factor: float = 2.0,
     server_utilization: float = 0.3,
     server_period: float = 0.1,
+    n_workers: Optional[int] = None,
 ) -> AblationResult:
     """Replay identical traces through AUB and DS admission policies.
 
@@ -83,28 +82,29 @@ def run_aub_vs_deferrable(
     DS can show a higher acceptance ratio precisely because it promises
     less.  The paper's claim is that AUB is comparable while requiring
     simpler middleware mechanisms.
+
+    Task sets are generated up front from the shared stream (preserving
+    the serial draw order) and then replayed as independent parallel
+    cells; per-set arrival streams are keyed by set index, so each cell
+    reproduces exactly the serial trace.
     """
     rngs = RngRegistry(seed)
     gen_rng = rngs.stream("task_sets")
-    result = AblationResult()
-    for set_index in range(n_sets):
-        workload = generate_random_workload(gen_rng, params)
-        plan = build_arrival_plan(
+    workloads = [generate_random_workload(gen_rng, params) for _ in range(n_sets)]
+    cells = [
+        (
             workload,
+            set_index,
+            seed,
             duration,
-            rngs.stream(f"arrivals:{set_index}"),
             aperiodic_interarrival_factor,
+            server_utilization,
+            server_period,
         )
-        nodes = list(workload.app_nodes)
-        aub_result = replay(_jobs_from_plan(workload, plan), AubReplayPolicy(nodes))
-        ds_result = replay(
-            _jobs_from_plan(workload, plan),
-            DeferrableServerPolicy(
-                nodes,
-                server_utilization=server_utilization,
-                server_period=server_period,
-            ),
-        )
-        result.aub_ratios.append(aub_result.accepted_utilization_ratio)
-        result.ds_ratios.append(ds_result.accepted_utilization_ratio)
+        for set_index, workload in enumerate(workloads)
+    ]
+    result = AblationResult()
+    for aub_ratio, ds_ratio in run_cells(replay_cell, cells, n_workers):
+        result.aub_ratios.append(aub_ratio)
+        result.ds_ratios.append(ds_ratio)
     return result

@@ -14,9 +14,9 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.cost_model import CostModel
-from repro.core.middleware import MiddlewareSystem
 from repro.core.strategies import StrategyCombo, valid_combinations
 from repro.experiments.report import bar_chart
+from repro.experiments.runner import run_combo_grid
 from repro.sim.rng import RngRegistry
 from repro.workloads.imbalanced import (
     ImbalancedWorkloadParams,
@@ -78,8 +78,13 @@ def run_figure6(
     combos: Optional[Sequence[StrategyCombo]] = None,
     aperiodic_interarrival_factor: float = 2.0,
     workloads: Optional[Sequence[Workload]] = None,
+    n_workers: Optional[int] = None,
 ) -> Figure6Result:
-    """Run the Figure 6 experiment (imbalanced workloads)."""
+    """Run the Figure 6 experiment (imbalanced workloads).
+
+    Cells fan out over ``n_workers`` processes with bit-identical results
+    to a serial run (see :mod:`repro.experiments.runner`).
+    """
     combos = list(combos) if combos is not None else valid_combinations()
     rngs = RngRegistry(seed)
     if workloads is None:
@@ -91,19 +96,15 @@ def run_figure6(
         workloads = list(workloads)
         n_sets = len(workloads)
     result = Figure6Result(duration=duration, n_sets=n_sets)
-    for combo in combos:
-        ratios: List[float] = []
-        for set_index, workload in enumerate(workloads):
-            system = MiddlewareSystem(
-                workload,
-                combo,
-                cost_model=cost_model,
-                seed=seed + 1000 * set_index,
-                aperiodic_interarrival_factor=aperiodic_interarrival_factor,
-            )
-            run = system.run(duration)
-            ratios.append(run.accepted_utilization_ratio)
-            result.deadline_misses += run.deadline_misses
-        result.per_combo_sets[combo.label] = ratios
-        result.per_combo[combo.label] = sum(ratios) / len(ratios)
+    result.per_combo_sets, result.deadline_misses = run_combo_grid(
+        workloads,
+        combos,
+        seed,
+        duration,
+        cost_model,
+        aperiodic_interarrival_factor,
+        n_workers,
+    )
+    for label, ratios in result.per_combo_sets.items():
+        result.per_combo[label] = sum(ratios) / len(ratios)
     return result

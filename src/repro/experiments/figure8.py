@@ -16,9 +16,8 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from repro.core.cost_model import CostModel
-from repro.core.middleware import MiddlewareSystem
-from repro.core.strategies import StrategyCombo
 from repro.experiments.report import format_table
+from repro.experiments.runner import overhead_cell, run_cells
 from repro.metrics.overhead import (
     ALL_ROWS,
     OverheadAccounting,
@@ -86,11 +85,16 @@ def run_figure8(
     cost_model: Optional[CostModel] = None,
     params: Optional[RandomWorkloadParams] = None,
     aperiodic_interarrival_factor: float = 2.0,
+    n_workers: Optional[int] = None,
 ) -> Figure8Result:
     """Run the Figure 8 overhead measurement.
 
     ``duration`` defaults to the paper's 5-minute runs; tests pass
-    something smaller.
+    something smaller.  The two configuration runs (no-LB for the "AC
+    without LB" row, LB-per-job for the with-LB/re-allocation/IR rows)
+    are independent cells fanned out by the parallel runner; their sample
+    series merge in the fixed no-LB-then-LB order, so the result is
+    bit-identical to the serial path.
     """
     params = params or _default_params()
     rngs = RngRegistry(seed)
@@ -98,33 +102,17 @@ def run_figure8(
     workload = generate_random_workload(gen_rng, params)
     merged = OverheadAccounting()
 
-    # Run 1: no LB — populates the "AC without LB" row.
-    no_lb = MiddlewareSystem(
-        workload,
-        StrategyCombo.from_label("J_J_N"),
-        cost_model=cost_model,
-        seed=seed,
-        aperiodic_interarrival_factor=aperiodic_interarrival_factor,
-    )
-    res_no_lb = no_lb.run(duration)
-
-    # Run 2: LB per job — populates the with-LB, re-allocation and IR rows.
-    with_lb = MiddlewareSystem(
-        workload,
-        StrategyCombo.from_label("J_J_J"),
-        cost_model=cost_model,
-        seed=seed,
-        aperiodic_interarrival_factor=aperiodic_interarrival_factor,
-    )
-    res_with_lb = with_lb.run(duration)
-
-    for accounting in (res_no_lb.overhead, res_with_lb.overhead):
+    cells = [
+        (workload, "J_J_N", seed, duration, cost_model, aperiodic_interarrival_factor),
+        (workload, "J_J_J", seed, duration, cost_model, aperiodic_interarrival_factor),
+    ]
+    outcomes = run_cells(overhead_cell, cells, n_workers)
+    for accounting, _delay_stats in outcomes:
         for name in ALL_ROWS:
             merged.series(name).merge(accounting.series(name))
     # Communication-delay samples come from both networks.
-    for system in (no_lb, with_lb):
-        stats = system.network.delay_stats
-        merged.series("communication_delay").merge(stats)
+    for _accounting, delay_stats in outcomes:
+        merged.series("communication_delay").merge(delay_stats)
 
     result = Figure8Result(duration=duration, rows=merged.rows())
     return result

@@ -1,0 +1,247 @@
+"""Parallel experiment runner: multiprocessing fan-out over run cells.
+
+Paper-scale experiments are embarrassingly parallel — Figure 5 alone is
+15 strategy combinations x 10 task sets of fully independent simulations.
+This module fans those (combo, task-set) cells out over a process pool
+while keeping results **bit-identical** to a serial run:
+
+* each cell is seeded deterministically from its own coordinates (the
+  experiment modules pass the exact per-cell seed the serial loop used),
+  so a cell computes the same floats no matter which worker runs it;
+* :func:`run_cells` returns results in submission order (``chunksize=1``
+  starmap), and the experiment modules fold them in the same order as
+  their serial loops, so float accumulation order is unchanged;
+* shared RNG streams (workload generation) are drawn in the parent before
+  the fan-out, never inside workers.
+
+Worker count resolution: an explicit ``n_workers`` argument wins,
+otherwise the ``REPRO_WORKERS`` environment variable, otherwise
+``os.cpu_count()``.  ``n_workers=1`` (or a single cell) bypasses the pool
+entirely; pool start-up failures (sandboxes without semaphore support)
+fall back to the serial path, so the runner degrades instead of crashing.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import sys
+from typing import Callable, Iterable, List, Optional, Sequence, Tuple
+
+#: Environment variable overriding the default worker count.
+WORKERS_ENV = "REPRO_WORKERS"
+
+
+def resolve_workers(n_workers: Optional[int] = None) -> int:
+    """The worker count to use: argument > $REPRO_WORKERS > cpu_count."""
+    if n_workers is None:
+        env = os.environ.get(WORKERS_ENV)
+        if env:
+            try:
+                n_workers = int(env)
+            except ValueError:
+                raise ValueError(
+                    f"${WORKERS_ENV} must be an integer, got {env!r}"
+                ) from None
+        else:
+            n_workers = os.cpu_count() or 1
+    return max(1, int(n_workers))
+
+
+def _pool_context():
+    """Prefer fork on Linux (cheap, inherits the loaded package); use the
+    platform default elsewhere — macOS exposes fork but forked children
+    can crash inside system frameworks, which is why spawn is its
+    default."""
+    if sys.platform == "linux":
+        return multiprocessing.get_context("fork")
+    return multiprocessing.get_context()
+
+
+def run_cells(
+    fn: Callable,
+    cells: Iterable[Tuple],
+    n_workers: Optional[int] = None,
+) -> List:
+    """Evaluate ``fn(*cell)`` for every cell, in order, possibly in parallel.
+
+    ``fn`` must be a module-level (picklable) function and every cell a
+    tuple of picklable arguments.  The result list is ordered like
+    ``cells`` regardless of worker scheduling, which is what lets callers
+    fold results exactly as their serial loops would.
+    """
+    cell_list = [tuple(cell) for cell in cells]
+    workers = min(resolve_workers(n_workers), len(cell_list))
+    if workers <= 1 or len(cell_list) <= 1:
+        return [fn(*cell) for cell in cell_list]
+    try:
+        pool = _pool_context().Pool(workers)
+    except (OSError, PermissionError, RuntimeError):
+        # No process support in this environment (restricted sandbox);
+        # cells are pure functions, so serial evaluation is equivalent.
+        return [fn(*cell) for cell in cell_list]
+    try:
+        return pool.starmap(fn, cell_list, chunksize=1)
+    finally:
+        pool.close()
+        pool.join()
+
+
+def run_combo_grid(
+    workloads: Sequence,
+    combos: Sequence,
+    seed: int,
+    duration: float,
+    cost_model,
+    aperiodic_interarrival_factor: float,
+    n_workers: Optional[int] = None,
+):
+    """Fan a (combo x task-set) grid out and fold it like the serial loops.
+
+    This is the shared shape of Figures 5 and 6: every combo runs every
+    workload with the serial per-cell seed ``seed + 1000 * set_index``,
+    and results fold in combo-major order.  Returns
+    ``(per_combo_sets, total_deadline_misses)`` where ``per_combo_sets``
+    maps each combo label to its per-set ratio list.
+    """
+    cells = [
+        (
+            workload,
+            combo.label,
+            seed + 1000 * set_index,
+            duration,
+            cost_model,
+            aperiodic_interarrival_factor,
+        )
+        for combo in combos
+        for set_index, workload in enumerate(workloads)
+    ]
+    outcomes = iter(run_cells(middleware_cell, cells, n_workers))
+    per_combo_sets = {}
+    deadline_misses = 0
+    for combo in combos:
+        ratios = []
+        for _workload in workloads:
+            ratio, misses = next(outcomes)
+            ratios.append(ratio)
+            deadline_misses += misses
+        per_combo_sets[combo.label] = ratios
+    return per_combo_sets, deadline_misses
+
+
+# ----------------------------------------------------------------------
+# Cell functions (module-level so they pickle under any start method)
+# ----------------------------------------------------------------------
+def middleware_cell(
+    workload,
+    combo_label: str,
+    seed: int,
+    duration: float,
+    cost_model,
+    aperiodic_interarrival_factor: float,
+) -> Tuple[float, int]:
+    """One (combo, task set) simulation; returns (ratio, deadline misses)."""
+    from repro.core.middleware import MiddlewareSystem
+    from repro.core.strategies import StrategyCombo
+
+    system = MiddlewareSystem(
+        workload,
+        StrategyCombo.from_label(combo_label),
+        cost_model=cost_model,
+        seed=seed,
+        aperiodic_interarrival_factor=aperiodic_interarrival_factor,
+    )
+    run = system.run(duration)
+    return run.accepted_utilization_ratio, run.deadline_misses
+
+
+def overhead_cell(
+    workload,
+    combo_label: str,
+    seed: int,
+    duration: float,
+    cost_model,
+    aperiodic_interarrival_factor: float,
+):
+    """One overhead-measurement run; returns (accounting, comm-delay stats)."""
+    from repro.core.middleware import MiddlewareSystem
+    from repro.core.strategies import StrategyCombo
+
+    system = MiddlewareSystem(
+        workload,
+        StrategyCombo.from_label(combo_label),
+        cost_model=cost_model,
+        seed=seed,
+        aperiodic_interarrival_factor=aperiodic_interarrival_factor,
+    )
+    result = system.run(duration)
+    return result.overhead, system.network.delay_stats
+
+
+def replay_cell(
+    workload,
+    set_index: int,
+    seed: int,
+    duration: float,
+    aperiodic_interarrival_factor: float,
+    server_utilization: float,
+    server_period: float,
+) -> Tuple[float, float]:
+    """One ablation task set replayed through AUB and Deferrable Server."""
+    from repro.sched.deferrable import DeferrableServerPolicy
+    from repro.sched.replay import AubReplayPolicy, replay
+    from repro.sim.rng import RngRegistry
+    from repro.workloads.arrivals import build_arrival_plan
+
+    # Streams are keyed by name, so a fresh registry reproduces exactly
+    # the per-set stream the serial loop drew from its shared registry.
+    rngs = RngRegistry(seed)
+    plan = build_arrival_plan(
+        workload,
+        duration,
+        rngs.stream(f"arrivals:{set_index}"),
+        aperiodic_interarrival_factor,
+    )
+    from repro.experiments.ablation import _jobs_from_plan
+
+    nodes = list(workload.app_nodes)
+    aub = replay(_jobs_from_plan(workload, plan), AubReplayPolicy(nodes))
+    ds = replay(
+        _jobs_from_plan(workload, plan),
+        DeferrableServerPolicy(
+            nodes,
+            server_utilization=server_utilization,
+            server_period=server_period,
+        ),
+    )
+    return aub.accepted_utilization_ratio, ds.accepted_utilization_ratio
+
+
+def table1_cell(
+    category: str,
+    job_skipping: bool,
+    replicated: bool,
+    stateful: bool,
+    tolerance_value: str,
+):
+    """Map one application category through the configuration engine."""
+    from repro.config.characteristics import (
+        ApplicationCharacteristics,
+        OverheadTolerance,
+    )
+    from repro.config.mapping import map_characteristics
+    from repro.experiments.table1 import Table1Row
+
+    chars = ApplicationCharacteristics(
+        job_skipping=job_skipping,
+        replicated_components=replicated,
+        state_persistence=stateful,
+        overhead_tolerance=OverheadTolerance(tolerance_value),
+    )
+    combo, notes = map_characteristics(chars)
+    return Table1Row(
+        category=category,
+        characteristics=chars,
+        combo_label=combo.label,
+        notes=tuple(notes),
+    )

@@ -13,13 +13,12 @@ categories the paper discusses:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Tuple
+from typing import List, Optional, Tuple
 
 from repro.config.characteristics import (
     ApplicationCharacteristics,
     OverheadTolerance,
 )
-from repro.config.mapping import map_characteristics
 from repro.experiments.report import format_table
 
 
@@ -44,26 +43,21 @@ CATEGORIES = (
 )
 
 
-def run_table1() -> List[Table1Row]:
-    """Map every example category through Table 1."""
-    rows: List[Table1Row] = []
-    for name, skipping, replicated, stateful, tolerance in CATEGORIES:
-        chars = ApplicationCharacteristics(
-            job_skipping=skipping,
-            replicated_components=replicated,
-            state_persistence=stateful,
-            overhead_tolerance=tolerance,
-        )
-        combo, notes = map_characteristics(chars)
-        rows.append(
-            Table1Row(
-                category=name,
-                characteristics=chars,
-                combo_label=combo.label,
-                notes=tuple(notes),
-            )
-        )
-    return rows
+def run_table1(n_workers: Optional[int] = 1) -> List[Table1Row]:
+    """Map every example category through Table 1.
+
+    Each category is an independent mapping cell dispatched through the
+    shared experiment runner (row order is preserved).  The cells are
+    constant-time dataclass mappings, so the default stays serial —
+    pool spin-up would dwarf the work; pass ``n_workers`` to fan out.
+    """
+    from repro.experiments.runner import run_cells, table1_cell
+
+    cells = [
+        (name, skipping, replicated, stateful, tolerance.value)
+        for name, skipping, replicated, stateful, tolerance in CATEGORIES
+    ]
+    return run_cells(table1_cell, cells, n_workers)
 
 
 def format_rows(rows: List[Table1Row]) -> str:

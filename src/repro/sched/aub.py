@@ -15,12 +15,28 @@ Implements the schedulability machinery from Abdelzaher, Thaker & Lardieri
 * **The resetting rule**: when a processor idles, contributions of
   completed subjobs may be removed without invalidating the analysis —
   the mechanism behind the paper's Idle Resetting service.
+
+Two analyzer implementations share the same API:
+
+* :class:`AubAnalyzer` — the **incremental engine** used by the
+  middleware.  It caches per-node ``f(U_j)`` terms (invalidated through a
+  ledger change listener), keeps a node -> registered-tasks reverse index
+  with per-task cached condition totals, and retires expired registrations
+  through a min-heap instead of a linear sweep.  An admission test only
+  evaluates the candidate plus the tasks that visit a node whose
+  utilization would actually change.
+* :class:`NaiveAubAnalyzer` — the direct transcription of condition (1)
+  (snapshot the ledger, rescan every registered task).  Retained as the
+  reference implementation: property tests assert the incremental engine
+  makes bit-identical decisions, and the hot-path benchmark measures the
+  speedup against it.
 """
 
 from __future__ import annotations
 
+import heapq
 import math
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
 
 from repro.errors import SchedulingError
 from repro.sim.monitor import TimeWeightedStat
@@ -55,16 +71,21 @@ def aub_term_inverse(t: float) -> float:
     """Inverse of :func:`aub_term` on [0, 1): the utilization ``u`` with
     ``f(u) = t``.
 
-    Solving ``u(1 - u/2) = t(1 - u)`` gives
-    ``u = (1 + t) - sqrt((1 + t)^2 - 2t)``.  Used by the decentralized
-    admission-control extension to convert per-task slack budgets into
-    local per-processor utilization caps.
+    Solving ``u(1 - u/2) = t(1 - u)`` gives the root
+    ``u = (1 + t) - sqrt(1 + t^2)``, which cancels catastrophically for
+    large ``t`` (both operands grow like ``t`` while the result approaches
+    1, so the old form collapsed to exactly 1.0 around ``t ~ 1e8``).  The
+    conjugate form ``u = 2t / ((1 + t) + sqrt(1 + t^2))`` only adds
+    same-sign quantities, so it stays accurate — and strictly below 1 —
+    over the whole domain.  ``hypot`` computes ``sqrt(1 + t^2)`` without
+    overflow.  Used by the decentralized admission-control extension to
+    convert per-task slack budgets into local per-processor caps.
     """
     if t < 0:
         raise SchedulingError(f"term value cannot be negative: {t}")
     if math.isinf(t):
         return 1.0
-    return (1.0 + t) - math.sqrt((1.0 + t) ** 2 - 2.0 * t)
+    return 2.0 * t / ((1.0 + t) + math.hypot(1.0, t))
 
 
 def task_condition_holds(visit_utils: Sequence[float]) -> bool:
@@ -85,6 +106,10 @@ class SyntheticUtilizationLedger:
     each (job, subtask) contribution can be removed exactly once by either
     deadline expiry or an idle reset — making the strategy semantics of the
     AC/IR services executable and auditable.
+
+    Observers registered through :meth:`subscribe` are notified with the
+    node name whenever that node's total changes; the incremental analyzer
+    uses this to invalidate its cached ``f(U_j)`` terms.
     """
 
     def __init__(self, nodes: Iterable[str], track_time: bool = False) -> None:
@@ -95,6 +120,7 @@ class SyntheticUtilizationLedger:
             n: {} for n in node_list
         }
         self._totals: Dict[str, float] = {n: 0.0 for n in node_list}
+        self._observers: List[Callable[[str], None]] = []
         self._stats: Optional[Dict[str, TimeWeightedStat]] = None
         if track_time:
             self._stats = {n: TimeWeightedStat() for n in node_list}
@@ -112,6 +138,10 @@ class SyntheticUtilizationLedger:
         except KeyError:
             raise SchedulingError(f"unknown processor {node!r}") from None
 
+    def subscribe(self, callback: Callable[[str], None]) -> None:
+        """Register a change listener called with each mutated node name."""
+        self._observers.append(callback)
+
     # ------------------------------------------------------------------
     # Contribution lifecycle
     # ------------------------------------------------------------------
@@ -128,6 +158,8 @@ class SyntheticUtilizationLedger:
         self._totals[node] += value
         if self._stats is not None:
             self._stats[node].update(now, self._totals[node])
+        for observer in self._observers:
+            observer(node)
 
     def remove(self, node: str, key: ContributionKey, now: float = 0.0) -> bool:
         """Remove a contribution if present; returns whether it existed.
@@ -154,6 +186,8 @@ class SyntheticUtilizationLedger:
                 )
         if self._stats is not None:
             self._stats[node].update(now, self._totals[node])
+        for observer in self._observers:
+            observer(node)
         return True
 
     def contains(self, node: str, key: ContributionKey) -> bool:
@@ -163,6 +197,11 @@ class SyntheticUtilizationLedger:
         """Current synthetic utilization U_j(t) of ``node``."""
         self._node(node)
         return self._totals[node]
+
+    def utilization_or_zero(self, node: str) -> float:
+        """Like :meth:`utilization` but 0.0 for unknown processors (the
+        tolerance the admission test extends to hypothetical nodes)."""
+        return self._totals.get(node, 0.0)
 
     def snapshot(self) -> Dict[str, float]:
         """Copy of all current synthetic utilizations."""
@@ -179,20 +218,80 @@ class SyntheticUtilizationLedger:
 
 
 class AubAnalyzer:
-    """System-wide AUB admission testing over a ledger.
+    """System-wide AUB admission testing over a ledger — incremental engine.
 
     The analyzer tracks the *visit lists* of all tasks that currently hold
     contributions, because condition (1) must keep holding for **every**
-    admitted task when a new one is admitted.  Entries expire lazily: each
-    has an expiry time (the job's absolute deadline) or ``None`` for
-    lifetime reservations (AC-per-Task).
+    admitted task when a new one is admitted.  Three structures make the
+    test incremental:
+
+    * ``f(U_j)`` is cached per node and invalidated by the ledger's change
+      listener, so unchanged processors never recompute the term;
+    * a node -> registered-tasks reverse index plus cached per-task
+      condition totals restrict each test to the candidate and the tasks
+      visiting a node whose utilization would actually change;
+    * expirations sit in a min-heap popped as time advances, replacing the
+      per-test linear sweep over the whole registry.
+
+    Decisions are bit-identical to :class:`NaiveAubAnalyzer`: hypothetical
+    utilizations use the same ``max(0, U + delta)`` expression, per-task
+    sums run in visit order with the same early exit, and tasks untouched
+    by the candidate are covered by the cached-total invariant (their
+    condition value cannot have changed since it was last computed).
     """
 
     def __init__(self, ledger: SyntheticUtilizationLedger) -> None:
         self.ledger = ledger
         #: registrant key -> (visit list, expiry time or None)
-        self._visits: Dict[Tuple[str, int], Tuple[List[str], Optional[float]]] = {}
+        self._visits: Dict[Tuple[str, int], Tuple[Sequence[str], Optional[float]]] = {}
+        #: node -> keys of registered tasks visiting it
+        self._by_node: Dict[str, Set[Tuple[str, int]]] = {}
+        #: node -> cached f(U_j) under the current ledger state
+        self._node_terms: Dict[str, float] = {}
+        #: key -> cached visit-order sum of f over the task's visits
+        self._task_totals: Dict[Tuple[str, int], float] = {}
+        #: keys whose cached total is stale (a visited node changed)
+        self._dirty: Set[Tuple[str, int]] = set()
+        #: keys whose cached total exceeds the bound (normally empty; can
+        #: occur when the ledger is mutated behind the analyzer's back)
+        self._violating: Set[Tuple[str, int]] = set()
+        #: (expiry, key) min-heap with lazy invalidation
+        self._expiry_heap: List[Tuple[float, Tuple[str, int]]] = []
         self.tests_performed = 0
+        ledger.subscribe(self._on_ledger_change)
+
+    # ------------------------------------------------------------------
+    # Cache maintenance
+    # ------------------------------------------------------------------
+    def _on_ledger_change(self, node: str) -> None:
+        self._node_terms.pop(node, None)
+        affected = self._by_node.get(node)
+        if affected:
+            self._dirty.update(affected)
+
+    def _term(self, node: str) -> float:
+        """Cached f(U_j) for ``node`` under the current ledger state."""
+        term = self._node_terms.get(node)
+        if term is None:
+            term = aub_term(self.ledger.utilization_or_zero(node))
+            self._node_terms[node] = term
+        return term
+
+    def _refresh_dirty(self) -> None:
+        """Recompute cached condition totals for stale registrations."""
+        while self._dirty:
+            key = self._dirty.pop()
+            entry = self._visits.get(key)
+            if entry is None:
+                continue
+            total = 0.0
+            for node in entry[0]:
+                total += self._term(node)
+            self._task_totals[key] = total
+            if total > 1.0 + EPSILON:
+                self._violating.add(key)
+            else:
+                self._violating.discard(key)
 
     # ------------------------------------------------------------------
     # Current-task registry
@@ -203,21 +302,57 @@ class AubAnalyzer:
         visits: Sequence[str],
         expiry: Optional[float],
     ) -> None:
-        """Record that the task/job ``key`` visits ``visits`` until ``expiry``."""
-        self._visits[key] = (list(visits), expiry)
+        """Record that the task/job ``key`` visits ``visits`` until ``expiry``.
+
+        The analyzer takes ownership of ``visits`` (callers pass freshly
+        built lists); re-registering a key replaces its previous entry.
+        """
+        old = self._visits.get(key)
+        if old is not None:
+            self._detach(key, old[0])
+        self._visits[key] = (visits, expiry)
+        by_node = self._by_node
+        for node in visits:
+            keys = by_node.get(node)
+            if keys is None:
+                by_node[node] = {key}
+            else:
+                keys.add(key)
+        if expiry is not None:
+            heapq.heappush(self._expiry_heap, (expiry, key))
+        self._dirty.add(key)
+
+    def _detach(self, key: Tuple[str, int], visits: Sequence[str]) -> None:
+        by_node = self._by_node
+        for node in visits:
+            keys = by_node.get(node)
+            if keys is not None:
+                keys.discard(key)
+                if not keys:
+                    del by_node[node]
+        self._task_totals.pop(key, None)
+        self._dirty.discard(key)
+        self._violating.discard(key)
 
     def unregister(self, key: Tuple[str, int]) -> None:
-        self._visits.pop(key, None)
+        entry = self._visits.pop(key, None)
+        if entry is not None:
+            self._detach(key, entry[0])
 
     def prune(self, now: float) -> None:
-        """Drop registry entries whose expiry has passed."""
-        expired = [
-            k
-            for k, (_visits, expiry) in self._visits.items()
-            if expiry is not None and expiry <= now + EPSILON
-        ]
-        for k in expired:
-            del self._visits[k]
+        """Retire registry entries whose expiry has passed.
+
+        Stale heap entries (keys re-registered with a different expiry, or
+        already unregistered) are skipped lazily on pop.
+        """
+        heap = self._expiry_heap
+        limit = now + EPSILON
+        while heap and heap[0][0] <= limit:
+            expiry, key = heapq.heappop(heap)
+            entry = self._visits.get(key)
+            if entry is not None and entry[1] == expiry:
+                del self._visits[key]
+                self._detach(key, entry[0])
 
     @property
     def registered(self) -> int:
@@ -244,17 +379,114 @@ class AubAnalyzer:
             may be negative when evaluating a *relocation* of an already
             admitted task (contributions move between processors).
         now:
-            Current time, used to prune expired registry entries.
+            Current time; expired registry entries are retired first.
         exclude:
             Registry key whose old visit list should be ignored (the task
             being relocated; its new visit list is ``candidate_visits``).
         """
         self.tests_performed += 1
         self.prune(now)
+        ledger = self.ledger
+        # Hypothetical post-admission utilization on each touched node.
+        hyp: Dict[str, float] = {}
+        for node, extra in candidate_contribs.items():
+            hyp[node] = max(0.0, ledger.utilization_or_zero(node) + extra)
+        # Every processor must stay below saturation for f(u) to be finite.
+        for node in set(candidate_visits):
+            u = hyp.get(node)
+            if u is None:
+                u = ledger.utilization_or_zero(node)
+            if u >= 1.0:
+                return False
+        # The candidate's own condition.
+        total = 0.0
+        for node in candidate_visits:
+            u = hyp.get(node)
+            total += self._term(node) if u is None else aub_term(u)
+            if total > 1.0 + EPSILON:
+                return False
+        # Registered tasks: only those visiting a node whose utilization
+        # would actually change can see their condition value move.
+        self._refresh_dirty()
+        affected: Set[Tuple[str, int]] = set()
+        by_node = self._by_node
+        for node, extra in candidate_contribs.items():
+            if extra == 0.0:
+                continue
+            keys = by_node.get(node)
+            if keys:
+                affected.update(keys)
+        if self._violating:
+            # A task already over the bound fails the test no matter what
+            # the candidate changes elsewhere (mirrors the full rescan).
+            for key in self._violating:
+                if key != exclude and key not in affected:
+                    return False
+        for key in affected:
+            if key == exclude:
+                continue
+            visits = self._visits[key][0]
+            total = 0.0
+            for node in visits:
+                u = hyp.get(node)
+                total += self._term(node) if u is None else aub_term(u)
+                if total > 1.0 + EPSILON:
+                    return False
+        return True
+
+
+class NaiveAubAnalyzer:
+    """Reference implementation: full-registry rescan per admission test.
+
+    This is the direct transcription of condition (1): snapshot the whole
+    ledger, apply the candidate's deltas, then re-evaluate every registered
+    task.  O(tasks * visits) per test plus an O(tasks) expiry sweep —
+    kept verbatim so property tests can assert the incremental
+    :class:`AubAnalyzer` agrees decision-for-decision, and so the hot-path
+    benchmark can quantify the speedup.
+    """
+
+    def __init__(self, ledger: SyntheticUtilizationLedger) -> None:
+        self.ledger = ledger
+        self._visits: Dict[Tuple[str, int], Tuple[List[str], Optional[float]]] = {}
+        self.tests_performed = 0
+
+    def register(
+        self,
+        key: Tuple[str, int],
+        visits: Sequence[str],
+        expiry: Optional[float],
+    ) -> None:
+        self._visits[key] = (list(visits), expiry)
+
+    def unregister(self, key: Tuple[str, int]) -> None:
+        self._visits.pop(key, None)
+
+    def prune(self, now: float) -> None:
+        expired = [
+            k
+            for k, (_visits, expiry) in self._visits.items()
+            if expiry is not None and expiry <= now + EPSILON
+        ]
+        for k in expired:
+            del self._visits[k]
+
+    @property
+    def registered(self) -> int:
+        return len(self._visits)
+
+    def admissible(
+        self,
+        candidate_visits: Sequence[str],
+        candidate_contribs: Mapping[str, float],
+        now: float,
+        exclude: Optional[Tuple[str, int]] = None,
+    ) -> bool:
+        self.tests_performed += 1
+        self.prune(now)
         totals = self.ledger.snapshot()
         for node, extra in candidate_contribs.items():
             totals[node] = max(0.0, totals.get(node, 0.0) + extra)
-        # Every processor must stay below saturation for f(u) to be finite.
         for node in set(candidate_visits):
             if totals.get(node, 0.0) >= 1.0:
                 return False

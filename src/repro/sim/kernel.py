@@ -5,6 +5,11 @@ by ``(time, priority, sequence)``.  The sequence number makes event ordering
 fully deterministic even when many events share a timestamp, which in turn
 makes every experiment in :mod:`repro.experiments` reproducible from a seed.
 
+Heap entries are plain ``(time, priority, seq, handle)`` tuples: the sort
+key is precomputed once at scheduling time and compared with C-level tuple
+comparison (the unique sequence number guarantees the handle itself is
+never compared), instead of dispatching a Python ``__lt__`` per sift step.
+
 Time is a ``float`` measured in **seconds** of virtual time.  The paper's
 overheads are microsecond-scale, so helper constants :data:`USEC` and
 :data:`MSEC` are provided for readability.
@@ -15,7 +20,7 @@ from __future__ import annotations
 import heapq
 import itertools
 import math
-from typing import Any, Callable, List, Optional
+from typing import Any, Callable, List, Optional, Tuple
 
 from repro.errors import SimulationError
 
@@ -65,16 +70,13 @@ class EventHandle:
     def cancelled(self) -> bool:
         return self._cancelled
 
-    def __lt__(self, other: "EventHandle") -> bool:
-        return (self.time, self.priority, self.seq) < (
-            other.time,
-            other.priority,
-            other.seq,
-        )
-
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = "cancelled" if self._cancelled else "pending"
         return f"<EventHandle t={self.time:.9f} prio={self.priority} {state}>"
+
+
+#: A heap entry: the precomputed sort key plus the handle payload.
+_HeapEntry = Tuple[float, int, int, EventHandle]
 
 
 def _noop(*_args: Any) -> None:
@@ -99,7 +101,7 @@ class Simulator:
 
     def __init__(self) -> None:
         self._now = 0.0
-        self._heap: List[EventHandle] = []
+        self._heap: List[_HeapEntry] = []
         self._seq = itertools.count()
         self._running = False
         self._event_count = 0
@@ -150,26 +152,44 @@ class Simulator:
                 f"cannot schedule at t={time!r} (now={self._now!r})"
             )
         handle = EventHandle(time, priority, next(self._seq), callback, args)
-        heapq.heappush(self._heap, handle)
+        heapq.heappush(self._heap, (time, priority, handle.seq, handle))
         return handle
 
     # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
+    def _live_head(self) -> Optional[_HeapEntry]:
+        """The next non-cancelled entry, discarding dead ones on the way.
+
+        This is the single cancellation-check path shared by :meth:`step`
+        and :meth:`run`; the returned entry is still on the heap.
+        """
+        heap = self._heap
+        while heap:
+            entry = heap[0]
+            if entry[3]._cancelled:
+                heapq.heappop(heap)
+                continue
+            return entry
+        return None
+
+    def _dispatch(self, entry: _HeapEntry) -> None:
+        heapq.heappop(self._heap)
+        self._now = entry[0]
+        self._event_count += 1
+        handle = entry[3]
+        handle.callback(*handle.args)
+
     def step(self) -> bool:
         """Dispatch the single next event.
 
         Returns ``True`` if an event fired, ``False`` if the queue is empty.
         """
-        while self._heap:
-            handle = heapq.heappop(self._heap)
-            if handle.cancelled:
-                continue
-            self._now = handle.time
-            self._event_count += 1
-            handle.callback(*handle.args)
-            return True
-        return False
+        entry = self._live_head()
+        if entry is None:
+            return False
+        self._dispatch(entry)
+        return True
 
     def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> None:
         """Run events until the queue drains, ``until`` is reached, or
@@ -184,20 +204,14 @@ class Simulator:
         self._running = True
         dispatched = 0
         try:
-            while self._heap:
-                if max_events is not None and dispatched >= max_events:
+            while max_events is None or dispatched < max_events:
+                entry = self._live_head()
+                if entry is None:
                     break
-                head = self._heap[0]
-                if head.cancelled:
-                    heapq.heappop(self._heap)
-                    continue
-                if until is not None and head.time > until:
+                if until is not None and entry[0] > until:
                     break
-                heapq.heappop(self._heap)
-                self._now = head.time
-                self._event_count += 1
+                self._dispatch(entry)
                 dispatched += 1
-                head.callback(*head.args)
             if until is not None and until > self._now:
                 self._now = until
         finally:

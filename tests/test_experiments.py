@@ -170,3 +170,52 @@ class TestReportHelpers:
         text = bar_chart({"x": 0.5, "yy": 1.0}, width=10)
         assert "|#####     |" in text
         assert "|##########|" in text
+
+
+class TestParallelRunner:
+    """The multiprocessing fan-out must be bit-identical to a serial run
+    and degrade gracefully when parallelism is unavailable."""
+
+    def test_resolve_workers_precedence(self, monkeypatch):
+        from repro.experiments import resolve_workers
+
+        assert resolve_workers(3) == 3
+        assert resolve_workers(0) == 1
+        monkeypatch.setenv("REPRO_WORKERS", "5")
+        assert resolve_workers() == 5
+        assert resolve_workers(2) == 2  # explicit argument wins
+        monkeypatch.delenv("REPRO_WORKERS")
+        assert resolve_workers() >= 1
+
+    def test_run_cells_preserves_order(self):
+        from repro.experiments import run_cells
+
+        # pow is picklable under every start method.
+        cells = [(i, 2, None) for i in range(7)]
+        assert run_cells(pow, cells, n_workers=3) == [i * i for i in range(7)]
+        assert run_cells(pow, cells, n_workers=1) == [i * i for i in range(7)]
+
+    def test_figure5_parallel_bit_identical_to_serial(self):
+        combos = [StrategyCombo.from_label(l) for l in ("J_N_N", "J_J_J", "T_T_T")]
+        serial = run_figure5(
+            n_sets=2, duration=10.0, seed=11, combos=combos, n_workers=1
+        )
+        parallel = run_figure5(
+            n_sets=2, duration=10.0, seed=11, combos=combos, n_workers=4
+        )
+        assert serial.per_combo == parallel.per_combo
+        assert serial.per_combo_sets == parallel.per_combo_sets
+        assert serial.deadline_misses == parallel.deadline_misses
+
+    def test_ablation_parallel_bit_identical_to_serial(self):
+        serial = run_aub_vs_deferrable(n_sets=3, duration=20.0, seed=5, n_workers=1)
+        parallel = run_aub_vs_deferrable(n_sets=3, duration=20.0, seed=5, n_workers=3)
+        assert serial.aub_ratios == parallel.aub_ratios
+        assert serial.ds_ratios == parallel.ds_ratios
+
+    def test_table1_routes_through_runner(self):
+        rows_serial = run_table1(n_workers=1)
+        rows_parallel = run_table1(n_workers=2)
+        assert [r.combo_label for r in rows_serial] == [
+            r.combo_label for r in rows_parallel
+        ]

@@ -1,14 +1,17 @@
 """Property-based tests (hypothesis) for the AUB machinery."""
 
 import math
+import random
 
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.sched.aub import (
     AubAnalyzer,
+    NaiveAubAnalyzer,
     SyntheticUtilizationLedger,
     aub_term,
+    aub_term_inverse,
     task_condition_holds,
 )
 
@@ -131,3 +134,158 @@ class TestAnalyzerProperties:
             assert task_condition_holds([totals[n] for n in visits])
         for node, total in totals.items():
             assert total < 1.0
+
+
+class TestAubTermInverseProperties:
+    @given(st.floats(min_value=0.0, max_value=1e6, allow_nan=False))
+    def test_round_trip_is_tight(self, t):
+        u = aub_term_inverse(t)
+        assert 0.0 <= u < 1.0
+        assert math.isclose(aub_term(u), t, rel_tol=1e-9, abs_tol=1e-12)
+
+    @given(st.floats(min_value=0.0, max_value=0.999999, allow_nan=False))
+    def test_inverse_of_term_recovers_utilization(self, u):
+        assert math.isclose(
+            aub_term_inverse(aub_term(u)), u, rel_tol=1e-9, abs_tol=1e-12
+        )
+
+
+class _MirroredSystem:
+    """Drives the incremental and naive analyzers through the identical
+    add/remove/relocate/expiry sequence, asserting decision parity."""
+
+    NODES = ("a", "b", "c", "d")
+
+    def __init__(self):
+        self.ledger_inc = SyntheticUtilizationLedger(self.NODES)
+        self.ledger_nai = SyntheticUtilizationLedger(self.NODES)
+        self.inc = AubAnalyzer(self.ledger_inc)
+        self.nai = NaiveAubAnalyzer(self.ledger_nai)
+        #: key -> (visits, per-stage utils, expiry or None)
+        self.live = {}
+        self.now = 0.0
+        self.counter = 0
+        self.decisions = []
+
+    # -- helpers -------------------------------------------------------
+    def _commit(self, key, visits, stage_utils, expiry):
+        for j, (node, u) in enumerate(zip(visits, stage_utils)):
+            self.ledger_inc.add(node, (key[0], key[1], j), u, self.now)
+            self.ledger_nai.add(node, (key[0], key[1], j), u, self.now)
+        self.inc.register(key, list(visits), expiry)
+        self.nai.register(key, list(visits), expiry)
+        self.live[key] = (list(visits), list(stage_utils), expiry)
+
+    def _evict(self, key):
+        visits, stage_utils, _expiry = self.live.pop(key)
+        for j, node in enumerate(visits):
+            self.ledger_inc.remove(node, (key[0], key[1], j), self.now)
+            self.ledger_nai.remove(node, (key[0], key[1], j), self.now)
+        self.inc.unregister(key)
+        self.nai.unregister(key)
+
+    def advance(self, dt):
+        self.now += dt
+        for key in [
+            k for k, (_v, _u, exp) in self.live.items()
+            if exp is not None and exp <= self.now
+        ]:
+            self._evict(key)
+
+    # -- operations ----------------------------------------------------
+    def arrival(self, visits, stage_utils, lifetime):
+        contribs = {}
+        for node, u in zip(visits, stage_utils):
+            contribs[node] = contribs.get(node, 0.0) + u
+        got = self.inc.admissible(visits, contribs, self.now)
+        want = self.nai.admissible(visits, contribs, self.now)
+        assert got == want, (
+            f"arrival decision diverged at t={self.now}: "
+            f"incremental={got} naive={want} visits={visits} utils={stage_utils}"
+        )
+        self.decisions.append(got)
+        if got:
+            key = (f"T{self.counter}", 0)
+            self.counter += 1
+            expiry = None if lifetime is None else self.now + lifetime
+            self._commit(key, visits, stage_utils, expiry)
+
+    def relocate(self, key, new_visits):
+        """Move an admitted task, evaluated as a delta with exclude."""
+        visits, stage_utils, expiry = self.live[key]
+        if len(new_visits) != len(visits):
+            return
+        delta = {}
+        for node, u in zip(new_visits, stage_utils):
+            delta[node] = delta.get(node, 0.0) + u
+        for node, u in zip(visits, stage_utils):
+            delta[node] = delta.get(node, 0.0) - u
+        got = self.inc.admissible(new_visits, delta, self.now, exclude=key)
+        want = self.nai.admissible(new_visits, delta, self.now, exclude=key)
+        assert got == want, (
+            f"relocation decision diverged at t={self.now}: "
+            f"incremental={got} naive={want}"
+        )
+        self.decisions.append(got)
+        if got:
+            self._evict(key)
+            self._commit(key, new_visits, stage_utils, expiry)
+
+    def idle_reset(self, key, stage):
+        """Reclaim one stage's contribution early (ledger-only removal)."""
+        visits, stage_utils, expiry = self.live[key]
+        node = visits[stage]
+        ck = (key[0], key[1], stage)
+        self.ledger_inc.remove(node, ck, self.now)
+        self.ledger_nai.remove(node, ck, self.now)
+        stage_utils[stage] = 0.0
+
+    def check_final_state(self):
+        assert self.inc.registered == self.nai.registered
+        for node in self.NODES:
+            assert self.ledger_inc.utilization(node) == self.ledger_nai.utilization(node)
+
+
+def _drive(rng, n_ops):
+    system = _MirroredSystem()
+    for _ in range(n_ops):
+        system.advance(rng.random() * 0.8)
+        roll = rng.random()
+        if roll < 0.6 or not system.live:
+            n_stages = rng.randint(1, 4)
+            visits = [rng.choice(system.NODES) for _ in range(n_stages)]
+            stage_utils = [rng.uniform(0.01, 0.35) for _ in range(n_stages)]
+            lifetime = None if rng.random() < 0.15 else rng.uniform(0.2, 4.0)
+            system.arrival(visits, stage_utils, lifetime)
+        elif roll < 0.8:
+            key = rng.choice(sorted(system.live))
+            n_stages = len(system.live[key][0])
+            new_visits = [rng.choice(system.NODES) for _ in range(n_stages)]
+            system.relocate(key, new_visits)
+        else:
+            key = rng.choice(sorted(system.live))
+            stage = rng.randrange(len(system.live[key][0]))
+            system.idle_reset(key, stage)
+    system.check_final_state()
+    return system
+
+
+class TestIncrementalMatchesNaive:
+    """The incremental AubAnalyzer must agree decision-for-decision with
+    the retained naive reference across random add/remove/relocate/expiry
+    sequences (the tentpole's correctness contract)."""
+
+    def test_seeded_long_sequences(self):
+        admitted_something = False
+        rejected_something = False
+        for seed in range(8):
+            system = _drive(random.Random(seed), 200)
+            admitted_something |= any(system.decisions)
+            rejected_something |= not all(system.decisions)
+        # The workload must exercise both outcomes to be meaningful.
+        assert admitted_something and rejected_something
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.integers(min_value=0, max_value=2**31))
+    def test_random_sequences(self, seed):
+        _drive(random.Random(seed), 60)

@@ -8,8 +8,10 @@ from repro.errors import SchedulingError
 from repro.sched.aub import (
     RESERVED,
     AubAnalyzer,
+    NaiveAubAnalyzer,
     SyntheticUtilizationLedger,
     aub_term,
+    aub_term_inverse,
     task_condition_holds,
 )
 
@@ -44,6 +46,47 @@ class TestAubTerm:
         assert aub_term(bound) == pytest.approx(1.0, abs=1e-9)
         assert task_condition_holds([bound - 1e-9])
         assert not task_condition_holds([bound + 1e-6])
+
+
+class TestAubTermInverse:
+    def test_zero(self):
+        assert aub_term_inverse(0.0) == 0.0
+
+    def test_infinity_maps_to_saturation(self):
+        assert aub_term_inverse(math.inf) == 1.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(SchedulingError):
+            aub_term_inverse(-1e-6)
+
+    def test_round_trip_small_and_moderate(self):
+        for t in (1e-12, 1e-6, 0.1, 0.5, 1.0, 2.0, 10.0, 1e3, 1e6):
+            u = aub_term_inverse(t)
+            assert 0.0 <= u < 1.0
+            assert aub_term(u) == pytest.approx(t, rel=1e-9)
+
+    def test_large_t_no_catastrophic_cancellation(self):
+        # The old form (1+t) - sqrt((1+t)^2 - 2t) collapses to exactly 1.0
+        # (and f then to +inf) once t reaches ~1e8; the conjugate form must
+        # stay strictly below 1 and keep the round trip tight far beyond.
+        for t in (1e8, 1e10, 1e12):
+            u = aub_term_inverse(t)
+            assert u < 1.0, f"inverse saturated at t={t}"
+            # Round-trip error is dominated by representing u near 1 (the
+            # irreducible part); it must stay tiny, not blow up to inf.
+            assert aub_term(u) == pytest.approx(t, rel=1e-3)
+        # Even at 1e15 the inverse stays below 1 and f stays finite.
+        u = aub_term_inverse(1e15)
+        assert u < 1.0
+        assert math.isfinite(aub_term(u))
+
+    def test_inverse_round_trip_from_utilization(self):
+        for u in (0.0, 0.1, 0.3, 0.586, 0.9, 0.99, 0.9999):
+            assert aub_term_inverse(aub_term(u)) == pytest.approx(u, rel=1e-9)
+
+    def test_monotone_in_t(self):
+        values = [aub_term_inverse(10.0 ** k) for k in range(-3, 12)]
+        assert all(b > a for a, b in zip(values, values[1:]))
 
 
 class TestTaskCondition:
@@ -217,3 +260,107 @@ class TestAnalyzer:
         analyzer.admissible(["a"], {"a": 0.1}, now=0.0)
         analyzer.admissible(["a"], {"a": 0.1}, now=0.0)
         assert analyzer.tests_performed == 2
+
+    def test_reregister_replaces_previous_entry(self):
+        ledger, analyzer = self.make()
+        ledger.add("a", ("T1", RESERVED, 0), 0.4)
+        analyzer.register(("T1", RESERVED), ["a"], expiry=None)
+        # Relocate: the same key now visits "b" only.
+        ledger.remove("a", ("T1", RESERVED, 0))
+        ledger.add("b", ("T1", RESERVED, 0), 0.4)
+        analyzer.register(("T1", RESERVED), ["b"], expiry=None)
+        assert analyzer.registered == 1
+        # A candidate saturating "a" is constrained only by itself now:
+        # T1's condition must be evaluated against "b", not the stale "a".
+        assert analyzer.admissible(["a"], {"a": 0.5}, now=0.0)
+        # ...while a candidate pushing "b" over the bound still fails.
+        assert not analyzer.admissible(["b"], {"b": 0.3}, now=0.0)
+
+    def test_expiry_heap_ignores_stale_entries(self):
+        ledger, analyzer = self.make()
+        ledger.add("a", ("T1", 0, 0), 0.3)
+        analyzer.register(("T1", 0), ["a"], expiry=5.0)
+        # Re-register the same key with a later expiry; the stale heap
+        # entry for t=5 must not retire the live registration.
+        analyzer.register(("T1", 0), ["a"], expiry=50.0)
+        analyzer.prune(10.0)
+        assert analyzer.registered == 1
+        analyzer.prune(60.0)
+        assert analyzer.registered == 0
+
+
+class TestIncrementalMatchesNaiveScripted:
+    """Scripted parity checks between the incremental and naive analyzers
+    (randomized sequences live in test_property_aub.py)."""
+
+    def make_pair(self, nodes=("a", "b", "c")):
+        ledger_i = SyntheticUtilizationLedger(nodes)
+        ledger_n = SyntheticUtilizationLedger(nodes)
+        return (ledger_i, AubAnalyzer(ledger_i)), (ledger_n, NaiveAubAnalyzer(ledger_n))
+
+    def test_admit_expire_relocate_sequence(self):
+        (ledger_i, inc), (ledger_n, nai) = self.make_pair()
+        script = [
+            (["a", "b"], {"a": 0.2, "b": 0.2}, 0.0, 10.0),
+            (["b", "c"], {"b": 0.25, "c": 0.25}, 1.0, 4.0),
+            (["a", "a"], {"a": 0.3}, 2.0, 8.0),
+            (["c"], {"c": 0.5}, 3.0, 9.0),
+            (["b"], {"b": 0.4}, 5.0, 12.0),   # after T1 expired at t=5
+            (["a", "b", "c"], {"a": 0.1, "b": 0.1, "c": 0.1}, 6.0, 20.0),
+        ]
+        admitted = []
+        for i, (visits, contribs, now, expiry) in enumerate(script):
+            # Expire committed entries whose deadline passed, like the AC's
+            # _expire_job events would.
+            for key, nodes_used, t_exp in list(admitted):
+                if t_exp <= now:
+                    for j, node in enumerate(nodes_used):
+                        ledger_i.remove(node, (key[0], key[1], j), now)
+                        ledger_n.remove(node, (key[0], key[1], j), now)
+                    inc.unregister(key)
+                    nai.unregister(key)
+                    admitted.remove((key, nodes_used, t_exp))
+            got = inc.admissible(visits, contribs, now)
+            want = nai.admissible(visits, contribs, now)
+            assert got == want, f"step {i}: incremental={got} naive={want}"
+            if got:
+                key = (f"T{i}", 0)
+                for j, node in enumerate(visits):
+                    share = contribs[node] / sum(
+                        1 for n in visits if n == node
+                    )
+                    ledger_i.add(node, (key[0], key[1], j), share, now)
+                    ledger_n.add(node, (key[0], key[1], j), share, now)
+                inc.register(key, list(visits), expiry)
+                nai.register(key, list(visits), expiry)
+                admitted.append((key, list(visits), expiry))
+        assert inc.registered == nai.registered
+
+    def test_relocation_with_exclude_matches(self):
+        (ledger_i, inc), (ledger_n, nai) = self.make_pair()
+        for ledger, analyzer in ((ledger_i, inc), (ledger_n, nai)):
+            ledger.add("a", ("T1", RESERVED, 0), 0.5)
+            analyzer.register(("T1", RESERVED), ["a"], None)
+            ledger.add("b", ("T2", RESERVED, 0), 0.3)
+            analyzer.register(("T2", RESERVED), ["b"], None)
+        delta = {"a": -0.5, "b": 0.5}
+        assert inc.admissible(
+            ["b"], delta, now=0.0, exclude=("T1", RESERVED)
+        ) == nai.admissible(["b"], delta, now=0.0, exclude=("T1", RESERVED))
+
+    def test_idle_reset_style_removal_invalidate_caches(self):
+        (ledger_i, inc), (ledger_n, nai) = self.make_pair()
+        for ledger, analyzer in ((ledger_i, inc), (ledger_n, nai)):
+            ledger.add("a", ("T1", 0, 0), 0.55)
+            analyzer.register(("T1", 0), ["a"], 100.0)
+        # Too heavy now on both:
+        assert inc.admissible(["a"], {"a": 0.2}, 0.0) == nai.admissible(
+            ["a"], {"a": 0.2}, 0.0
+        )
+        # An idle reset reclaims the contribution (ledger-only removal,
+        # registration stays) — the cached terms must follow.
+        ledger_i.remove("a", ("T1", 0, 0))
+        ledger_n.remove("a", ("T1", 0, 0))
+        got = inc.admissible(["a"], {"a": 0.2}, 0.0)
+        assert got == nai.admissible(["a"], {"a": 0.2}, 0.0)
+        assert got is True
