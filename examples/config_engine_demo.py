@@ -6,16 +6,21 @@
 3. The engine maps the answers to strategies (Table 1), generates the
    XML deployment plan with EDMS priorities, and validates it —
    including refusing an invalid hand-edited plan.
-4. DAnCE-lite deploys the plan and the system runs.
+4. The decision is emitted as a declarative ``repro.api`` Scenario that
+   round-trips through JSON, and DAnCE-lite deploys + runs it.
 """
 
+import os
 import tempfile
 from pathlib import Path
 
+from repro.api import Scenario, Session
 from repro.config import ConfigurationEngine
 from repro.config.xml_io import parse_xml
 from repro.errors import InvalidStrategyCombination
 from repro.core.strategies import StrategyCombo
+
+DURATION = float(os.environ.get("REPRO_EXAMPLE_DURATION", "60.0"))
 
 WORKLOAD_SPEC = """\
 # Conveyor-line workload: two end-to-end tasks over three processors.
@@ -68,15 +73,25 @@ def main() -> None:
     except InvalidStrategyCombination as exc:
         print(f"rejected as expected: {exc}")
 
-    # Round-trip through XML, then deploy and run via DAnCE-lite.
+    # The decision as a declarative scenario, round-tripped through JSON.
+    scenario = engine.scenario(result, duration=DURATION, seed=1)
+    restored = Scenario.from_json_str(scenario.to_json_str())
+    assert restored == scenario
+    print("\n--- scenario JSON round-trip ---")
+    print(f"combo={restored.combo} duration={restored.duration:.0f}s "
+          f"seed={restored.seed} (round-trip exact)")
+
+    # Deploy and run via DAnCE-lite (workload + combo -> XML plan ->
+    # Execution Manager), the same path `repro scenario run --via-dance`
+    # takes.
     plan = parse_xml(result.xml)
-    system = engine.deploy_xml(result.xml, seed=1)
-    run = system.run(duration=60.0)
-    print("\n--- deployed system run (60 s) ---")
+    session = Session(restored, via_dance=True)
+    run = session.run()
+    print(f"\n--- deployed system run ({DURATION:.0f} s) ---")
     print(f"plan label                 : {plan.label}")
     print(f"accepted utilization ratio : {run.accepted_utilization_ratio:.3f}")
     print(f"jobs arrived / released    : "
-          f"{run.metrics.arrived_jobs} / {run.metrics.released_jobs}")
+          f"{run.arrived_jobs} / {run.released_jobs}")
     print(f"deadline misses            : {run.deadline_misses}")
 
 

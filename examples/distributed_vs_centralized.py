@@ -3,30 +3,46 @@
 
 The paper chose one central AC/LB pair on a task-manager processor and
 argued a distributed alternative would need synchronization among
-admission controllers.  This example runs both architectures on the same
-random workload and prints the measured trade-off: coordination traffic
-and conservatism versus the (theoretical) central bottleneck.
+admission controllers.  This example expresses both architectures as
+scenarios — same workload source, different ``engine`` — runs the whole
+grid through one parallel suite, and prints the measured trade-off:
+coordination traffic and conservatism versus the (theoretical) central
+bottleneck.
 """
 
-import random
+import os
 
-from repro.core.distributed_ac import DistributedMiddlewareSystem
-from repro.core.middleware import MiddlewareSystem
-from repro.core.strategies import StrategyCombo
+from repro.api import ExperimentSuite, Scenario
 from repro.experiments.report import format_table
-from repro.workloads.generator import generate_random_workload
+
+DURATION = float(os.environ.get("REPRO_EXAMPLE_DURATION", "90.0"))
+SEEDS = range(4)
 
 
 def main() -> None:
-    rows = []
-    for seed in range(4):
-        workload = generate_random_workload(random.Random(300 + seed))
-        centralized = MiddlewareSystem(
-            workload, StrategyCombo.from_label("J_N_N"), seed=seed
+    cells = []
+    for seed in SEEDS:
+        base = (
+            Scenario.builder()
+            .random_workload(seed=300 + seed, stream="wl")
+            .combo("J_N_N")
+            .duration(DURATION)
+            .seed(seed)
         )
-        r_cent = centralized.run(duration=90.0)
-        distributed = DistributedMiddlewareSystem(workload, seed=seed)
-        r_dist = distributed.run(duration=90.0)
+        cells.append(base.build())
+        cells.append(
+            Scenario.builder()
+            .random_workload(seed=300 + seed, stream="wl")
+            .distributed()
+            .duration(DURATION)
+            .seed(seed)
+            .build()
+        )
+    suite = ExperimentSuite(name="central-vs-distributed", cells=tuple(cells))
+    outcomes = iter(suite.run_results())
+
+    rows = []
+    for seed, (r_cent, r_dist) in zip(SEEDS, zip(outcomes, outcomes)):
         rows.append(
             [
                 seed,
@@ -44,7 +60,8 @@ def main() -> None:
             ["set", "central ratio", "distrib ratio", "central msgs",
              "distrib msgs", "reserve msgs", "misses"],
             rows,
-            title="Centralized vs decentralized admission control (90 s)",
+            title=f"Centralized vs decentralized admission control "
+                  f"({DURATION:.0f} s)",
         )
     )
     print(

@@ -8,16 +8,20 @@
 
 Three processors near the valve host all tasks (synthetic utilization
 0.7); two stand-by processors host only replicas.  The example runs the
-same arrival trace through three configurations differing only in load
-balancing (J_J_N, J_J_T, J_J_J) and shows how spilling load onto the
-replica processors raises the accepted utilization ratio.
+same arrival trace through three scenarios differing only in load
+balancing (J_J_N, J_J_T, J_J_J) — one declarative suite, executed in
+parallel — and shows how spilling load onto the replica processors
+raises the accepted utilization ratio.
 """
 
+import os
 import random
 
-from repro import MiddlewareSystem, StrategyCombo
+from repro.api import ExperimentSuite, Scenario
 from repro.experiments.report import bar_chart, format_table
 from repro.workloads.imbalanced import generate_imbalanced_workload
+
+DURATION = float(os.environ.get("REPRO_EXAMPLE_DURATION", "120.0"))
 
 
 def main() -> None:
@@ -27,17 +31,24 @@ def main() -> None:
         role = "loaded" if util > 0 else "replica-only"
         print(f"  {node}: {util:.2f}  ({role})")
 
+    suite = ExperimentSuite(
+        name="valve-blockage",
+        cells=tuple(
+            Scenario.builder()
+            .workload(workload)
+            .combo(label)
+            .duration(DURATION)
+            .seed(7)
+            .interarrival_factor(1.5)
+            .build()
+            for label in ("J_J_N", "J_J_T", "J_J_J")
+        ),
+    )
+
     ratios = {}
     rows = []
-    for label in ("J_J_N", "J_J_T", "J_J_J"):
-        system = MiddlewareSystem(
-            workload,
-            StrategyCombo.from_label(label),
-            seed=7,
-            aperiodic_interarrival_factor=1.5,
-        )
-        run = system.run(duration=120.0)
-        ratios[label] = run.accepted_utilization_ratio
+    for run in suite.run_results():
+        ratios[run.combo_label] = run.accepted_utilization_ratio
         spill = sum(
             util
             for node, util in run.cpu_utilization.items()
@@ -45,9 +56,9 @@ def main() -> None:
         )
         rows.append(
             [
-                label,
+                run.combo_label,
                 run.accepted_utilization_ratio,
-                run.metrics.rejected_jobs,
+                run.rejected_jobs,
                 f"{spill:.4f}",
                 run.deadline_misses,
             ]
@@ -59,7 +70,7 @@ def main() -> None:
             ["combo", "accepted ratio", "rejected jobs",
              "replica-cpu busy", "misses"],
             rows,
-            title="Valve blockage: LB strategy comparison (120 s)",
+            title=f"Valve blockage: LB strategy comparison ({DURATION:.0f} s)",
         )
     )
     print()

@@ -13,15 +13,21 @@ must finish within 300 ms end to end.  Because the alert chain drives a
 fail-safe actuator, the application cannot skip jobs (criterion C1 = no)
 and its diagnosis stage keeps state (C2 = yes) — the configuration engine
 therefore selects per-task strategies, exactly the paper's Figure 4
-example.
+example.  The engine *emits* the configured run as a declarative
+:class:`repro.api.Scenario`, which a Session deploys through the full
+DAnCE-lite pipeline.
 """
 
+import os
+
+from repro.api import Session
 from repro.config import ApplicationCharacteristics, ConfigurationEngine
 from repro.config.characteristics import OverheadTolerance
 from repro.sched.task import SubtaskSpec, TaskKind, TaskSpec
 from repro.workloads.model import Workload
 
 PLANT_FLOOR = ("floor1", "floor2", "floor3")
+DURATION = float(os.environ.get("REPRO_EXAMPLE_DURATION", "120.0"))
 
 
 def build_workload() -> Workload:
@@ -86,16 +92,19 @@ def main() -> None:
     for note in result.notes:
         print("note:", note)
 
-    system = engine.deploy(result, seed=7)
-    run = system.run(duration=120.0)
+    # The engine's decision, as a serializable scenario data object.
+    scenario = engine.scenario(result, duration=DURATION, seed=7)
+    session = Session(scenario, via_dance=True)
+    run = session.run()
 
-    print("\n=== plant monitoring, 120 simulated seconds ===")
+    print(f"\n=== plant monitoring, {DURATION:.0f} simulated seconds ===")
     print(f"jobs arrived / released / rejected : "
-          f"{run.metrics.arrived_jobs} / {run.metrics.released_jobs} / "
-          f"{run.metrics.rejected_jobs}")
+          f"{run.arrived_jobs} / {run.released_jobs} / {run.rejected_jobs}")
     print(f"accepted utilization ratio          : "
           f"{run.accepted_utilization_ratio:.3f}")
-    alert_stats = run.metrics.latency.task_response_times("hazard_alert")
+    alert_stats = (
+        session.system.metrics.latency.task_response_times("hazard_alert")
+    )
     if alert_stats.count:
         print(f"hazard alerts completed             : {alert_stats.count}")
         print(f"alert response time mean / max      : "

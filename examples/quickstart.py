@@ -2,19 +2,20 @@
 """Quickstart: build a tiny distributed CPS and run it for one minute.
 
 Two application processors host a periodic sensor-processing chain and an
-aperiodic operator-command task.  The middleware is configured J_J_T:
-per-job admission control, per-job idle resetting, per-task load
+aperiodic operator-command task.  The run is described declaratively: a
+frozen, JSON-serializable :class:`repro.api.Scenario` built with the
+fluent builder, deployed and executed by a :class:`repro.api.Session`,
+returning a typed :class:`RunResult`.  The middleware is configured
+J_J_T: per-job admission control, per-job idle resetting, per-task load
 balancing.
 """
 
-from repro import (
-    MiddlewareSystem,
-    StrategyCombo,
-    SubtaskSpec,
-    TaskKind,
-    TaskSpec,
-    Workload,
-)
+import os
+
+from repro import SubtaskSpec, TaskKind, TaskSpec, Workload
+from repro.api import Scenario, Session
+
+DURATION = float(os.environ.get("REPRO_EXAMPLE_DURATION", "60.0"))
 
 
 def main() -> None:
@@ -42,18 +43,30 @@ def main() -> None:
         tasks=(sensor_chain, operator_cmd), app_nodes=("app1", "app2")
     )
 
-    system = MiddlewareSystem(
-        workload, StrategyCombo.from_label("J_J_T"), seed=42
+    scenario = (
+        Scenario.builder()
+        .workload(workload)
+        .combo("J_J_T")
+        .duration(DURATION)
+        .seed(42)
+        .label("quickstart")
+        .build()
     )
-    results = system.run(duration=60.0)
+    # Scenarios round-trip through JSON — export one, run it anywhere:
+    #   python -m repro scenario run quickstart.json
+    print("scenario JSON preview:",
+          scenario.to_json_str(indent=None)[:76] + "...")
 
-    print("=== quickstart results (60 simulated seconds) ===")
-    summary = results.metrics.summary()
-    for key, value in summary.items():
-        print(f"  {key:28s} {value:.4f}" if isinstance(value, float) else f"  {key:28s} {value}")
-    print(f"  accepted utilization ratio   {results.accepted_utilization_ratio:.3f}")
-    print(f"  deadline misses              {results.deadline_misses}")
-    for node, util in sorted(results.cpu_utilization.items()):
+    result = Session(scenario).run()
+
+    print(f"=== quickstart results ({DURATION:.0f} simulated seconds) ===")
+    for key, value in result.summary().items():
+        print(f"  {key:28s} {value:.4f}" if isinstance(value, float)
+              else f"  {key:28s} {value}")
+    print(f"  accepted utilization ratio   "
+          f"{result.accepted_utilization_ratio:.3f}")
+    print(f"  deadline misses              {result.deadline_misses}")
+    for node, util in sorted(result.cpu_utilization.items()):
         print(f"  cpu utilization {node:12s} {util:.4f}")
 
 

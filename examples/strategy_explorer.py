@@ -4,32 +4,50 @@
 Reproduces a single-task-set slice of the paper's Figure 5 and prints the
 bar chart plus the trade-off summary (acceptance vs middleware events —
 the overhead proxy the paper asks developers to weigh).
+
+The sweep is one declarative :class:`repro.api.ExperimentSuite` — 15
+scenarios differing only in their combo name — fanned out over all cores
+by the shared parallel runner.
 """
 
-import random
+import os
 
-from repro import MiddlewareSystem, valid_combinations
+from repro import valid_combinations
+from repro.api import ExperimentSuite, Scenario
 from repro.experiments.report import bar_chart, format_table
-from repro.workloads.generator import generate_random_workload
+
+DURATION = float(os.environ.get("REPRO_EXAMPLE_DURATION", "90.0"))
 
 
 def main() -> None:
-    workload = generate_random_workload(random.Random(11))
+    suite = ExperimentSuite(
+        name="strategy-explorer",
+        cells=tuple(
+            Scenario.builder()
+            .random_workload(seed=11, stream="wl")
+            .combo(combo)
+            .duration(DURATION)
+            .seed(3)
+            .build()
+            for combo in valid_combinations()
+        ),
+    )
+    results = suite.run_results()
+    workload = suite.cells[0].workload.materialize()
     print(f"workload: {len(workload.tasks)} tasks over "
           f"{len(workload.app_nodes)} processors, "
-          f"static utilization {list(workload.static_utilization().values())[0]:.2f}")
+          f"static utilization "
+          f"{list(workload.static_utilization().values())[0]:.2f}")
 
     ratios = {}
     rows = []
-    for combo in valid_combinations():
-        system = MiddlewareSystem(workload, combo, seed=3)
-        run = system.run(duration=90.0)
-        ratios[combo.label] = run.accepted_utilization_ratio
+    for run in results:
+        ratios[run.combo_label] = run.accepted_utilization_ratio
         rows.append(
             [
-                combo.label,
+                run.combo_label,
                 run.accepted_utilization_ratio,
-                run.metrics.rejected_jobs,
+                run.rejected_jobs,
                 run.messages_sent,
                 run.deadline_misses,
             ]
@@ -42,7 +60,8 @@ def main() -> None:
         format_table(
             ["combo", "ratio", "rejected", "messages", "misses"],
             rows,
-            title="Acceptance vs middleware traffic (90 s, one task set)",
+            title=f"Acceptance vs middleware traffic "
+                  f"({DURATION:.0f} s, one task set)",
         )
     )
     best = max(ratios, key=ratios.get)

@@ -1,16 +1,21 @@
 #!/usr/bin/env python3
 """Trace a run and render per-processor execution timelines.
 
-Runs a small plant workload with tracing enabled, then prints the first
-events chronologically, the full history of one hazard-alert job, and an
-ASCII lane chart of the first two seconds — the kind of visibility the
-paper's authors got from KURT-Linux timestamp instrumentation.
+Runs a small plant workload with tracing enabled (``.trace()`` on the
+scenario builder), then prints the first events chronologically, the full
+history of one hazard-alert job, and an ASCII lane chart of the first two
+seconds — the kind of visibility the paper's authors got from KURT-Linux
+timestamp instrumentation.  The live system (and its tracer) stays
+reachable through ``Session.system``.
 """
 
-from repro import MiddlewareSystem, StrategyCombo
+import os
+
+from repro import SubtaskSpec, TaskKind, TaskSpec, Workload
+from repro.api import Scenario, Session
 from repro.sim.timeline import build_timeline, format_lanes, format_timeline
-from repro.sched.task import SubtaskSpec, TaskKind, TaskSpec
-from repro.workloads.model import Workload
+
+DURATION = float(os.environ.get("REPRO_EXAMPLE_DURATION", "10.0"))
 
 
 def main() -> None:
@@ -35,11 +40,18 @@ def main() -> None:
     )
     workload = Workload(tasks=(scan, alert), app_nodes=("floor1", "floor2"))
 
-    system = MiddlewareSystem(
-        workload, StrategyCombo.from_label("J_J_T"), seed=5, trace=True
+    scenario = (
+        Scenario.builder()
+        .workload(workload)
+        .combo("J_J_T")
+        .duration(DURATION)
+        .seed(5)
+        .trace()
+        .build()
     )
-    results = system.run(duration=10.0)
-    timeline = build_timeline(system.tracer)
+    session = Session(scenario)
+    result = session.run()
+    timeline = build_timeline(session.system.tracer)
 
     print("=== first events of the run ===")
     print(format_timeline(timeline, limit=25))
@@ -57,8 +69,8 @@ def main() -> None:
             end=2.0,
         )
     )
-    print(f"\ntotal trace events: {len(system.tracer)}; "
-          f"accepted ratio {results.accepted_utilization_ratio:.3f}")
+    print(f"\ntotal trace events: {len(session.system.tracer)}; "
+          f"accepted ratio {result.accepted_utilization_ratio:.3f}")
 
 
 if __name__ == "__main__":

@@ -4,21 +4,42 @@ A production-quality Python reproduction of Zhang, Gill & Lu,
 "Reconfigurable Real-Time Middleware for Distributed Cyber-Physical
 Systems with Aperiodic Events" (WUCSE-2008-5 / ICDCS 2008).
 
-Quickstart
-----------
->>> import random
->>> from repro import MiddlewareSystem, StrategyCombo
->>> from repro.workloads import generate_random_workload
->>> workload = generate_random_workload(random.Random(1))
->>> system = MiddlewareSystem(workload, StrategyCombo.from_label("J_J_J"))
->>> results = system.run(duration=20.0)
->>> 0.0 <= results.accepted_utilization_ratio <= 1.0
+Quickstart — the ``repro.api`` declarative surface
+--------------------------------------------------
+>>> from repro.api import Scenario, Session
+>>> scenario = (
+...     Scenario.builder()
+...     .random_workload(seed=1)
+...     .combo("J_J_J")
+...     .duration(20.0)
+...     .build()
+... )
+>>> result = Session(scenario).run()
+>>> 0.0 <= result.accepted_utilization_ratio <= 1.0
 True
 
-See ``examples/`` for full scenarios and ``benchmarks/`` for the
-reproductions of the paper's figures and tables.
+Scenarios are frozen, validated, and JSON-round-trip serializable
+(``scenario.to_json_str()``), strategies resolve by name through
+``repro.api.default_registry()``, and grids of scenarios fan out over
+all cores via ``repro.api.ExperimentSuite`` with bit-identical results
+for any worker count.
+
+Direct ``MiddlewareSystem(workload, combo)`` construction remains
+supported as a deprecated back-compat path — see ``docs/API.md`` for
+the migration table.  See ``examples/`` for full scenarios and
+``benchmarks/`` for the reproductions of the paper's figures and
+tables.
 """
 
+from repro.api import (
+    ExperimentSuite,
+    RunResult,
+    Scenario,
+    Session,
+    WorkloadSource,
+    default_registry,
+    run_scenario,
+)
 from repro.core.cost_model import CostModel
 from repro.core.middleware import MiddlewareSystem, SystemResults
 from repro.core.strategies import (
@@ -32,9 +53,18 @@ from repro.errors import ReproError
 from repro.sched.task import Job, SubtaskSpec, TaskKind, TaskSpec
 from repro.workloads.model import Workload
 
-__version__ = "1.0.0"
+__version__ = "2.0.0"
 
 __all__ = [
+    # Declarative public surface
+    "Scenario",
+    "Session",
+    "RunResult",
+    "ExperimentSuite",
+    "WorkloadSource",
+    "default_registry",
+    "run_scenario",
+    # Building blocks
     "CostModel",
     "MiddlewareSystem",
     "SystemResults",

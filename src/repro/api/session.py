@@ -1,0 +1,465 @@
+"""Session: deploy a :class:`Scenario`, run it, return a :class:`RunResult`.
+
+The session is the one audited execution path behind every experiment,
+example, and CLI command.  It dispatches on the scenario's engine:
+
+* ``middleware`` — the paper's Figure 1 deployment via
+  :class:`~repro.core.middleware.MiddlewareSystem` (optionally through the
+  DAnCE-lite XML plan pipeline with ``via_dance=True``);
+* ``distributed`` — the per-processor two-phase admission prototype;
+* ``replay`` — analytic trace replay through a registry admission policy.
+
+:class:`RunResult` replaces the loosely-shaped ``SystemResults`` at the
+public surface: a frozen, typed, JSON-serializable record of metrics,
+overhead accounting (as mergeable :class:`StatSnapshot` series) and
+acceptance ratios, identical in content no matter which worker process
+produced it.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass, field, fields
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.api.registry import default_registry
+from repro.api.scenario import (
+    ENGINE_DISTRIBUTED,
+    ENGINE_MIDDLEWARE,
+    ENGINE_REPLAY,
+    Burst,
+    Scenario,
+    Slowdown,
+)
+from repro.errors import ConfigurationError
+from repro.metrics.overhead import ALL_ROWS, OverheadRow
+from repro.sim.kernel import USEC
+from repro.sim.monitor import StatSeries
+
+
+# ----------------------------------------------------------------------
+# Serializable statistics
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class StatSnapshot:
+    """Frozen, mergeable snapshot of a :class:`StatSeries`.
+
+    Carries the exact accumulators (count/total/total_sq/min/max), so
+    merging snapshots from parallel workers reproduces bit-identically the
+    statistics a serial run would have accumulated.
+    """
+
+    count: int = 0
+    total: float = 0.0
+    total_sq: float = 0.0
+    minimum: float = math.inf
+    maximum: float = -math.inf
+
+    @classmethod
+    def from_series(cls, series: StatSeries) -> "StatSnapshot":
+        return cls(
+            count=series.count,
+            total=series.total,
+            total_sq=series.total_sq,
+            minimum=series.minimum,
+            maximum=series.maximum,
+        )
+
+    def to_series(self) -> StatSeries:
+        return StatSeries(
+            count=self.count,
+            total=self.total,
+            total_sq=self.total_sq,
+            minimum=self.minimum,
+            maximum=self.maximum,
+        )
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def to_json(self) -> Dict[str, Any]:
+        data: Dict[str, Any] = {
+            "count": self.count,
+            "total": self.total,
+            "total_sq": self.total_sq,
+        }
+        if self.count:  # +-inf sentinels are not strict JSON
+            data["minimum"] = self.minimum
+            data["maximum"] = self.maximum
+        return data
+
+    @classmethod
+    def from_json(cls, data: Dict[str, Any]) -> "StatSnapshot":
+        count = data.get("count", 0)
+        return cls(
+            count=count,
+            total=data.get("total", 0.0),
+            total_sq=data.get("total_sq", 0.0),
+            minimum=data.get("minimum", math.inf),
+            maximum=data.get("maximum", -math.inf),
+        )
+
+
+# ----------------------------------------------------------------------
+# RunResult
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class RunResult:
+    """Typed, serializable outcome of one scenario run."""
+
+    scenario_label: str
+    combo_label: str
+    engine: str
+    seed: int
+    duration: float  # simulated end time, including the drain window
+    arrived_jobs: int
+    released_jobs: int
+    rejected_jobs: int
+    completed_jobs: int
+    deadline_misses: int
+    accepted_utilization_ratio: float
+    mean_response_time: float = 0.0
+    events_executed: int = 0
+    messages_sent: int = 0
+    reserve_messages: int = 0
+    cpu_utilization: Dict[str, float] = field(default_factory=dict)
+    final_synthetic_utilization: Dict[str, float] = field(default_factory=dict)
+    overhead: Dict[str, StatSnapshot] = field(default_factory=dict)
+    comm_delay: StatSnapshot = StatSnapshot()
+
+    # -- derived views ----------------------------------------------------
+    def overhead_rows(self) -> List[OverheadRow]:
+        """Figure-8-style rows (microseconds) for paths that saw samples."""
+        rows = []
+        for name in ALL_ROWS:
+            snap = self.overhead.get(name)
+            if snap is None or snap.count == 0:
+                continue
+            rows.append(
+                OverheadRow(
+                    name=name,
+                    mean_usec=snap.mean / USEC,
+                    max_usec=snap.maximum / USEC,
+                    samples=snap.count,
+                )
+            )
+        return rows
+
+    def summary(self) -> Dict[str, float]:
+        """Flat summary mirroring ``MetricsCollector.summary``."""
+        return {
+            "arrived_jobs": self.arrived_jobs,
+            "released_jobs": self.released_jobs,
+            "rejected_jobs": self.rejected_jobs,
+            "accepted_utilization_ratio": self.accepted_utilization_ratio,
+            "completed_jobs": self.completed_jobs,
+            "deadline_misses": self.deadline_misses,
+            "mean_response_time": self.mean_response_time,
+        }
+
+    # -- JSON -------------------------------------------------------------
+    def to_json(self) -> Dict[str, Any]:
+        data: Dict[str, Any] = {
+            "scenario_label": self.scenario_label,
+            "combo_label": self.combo_label,
+            "engine": self.engine,
+            "seed": self.seed,
+            "duration": self.duration,
+            "arrived_jobs": self.arrived_jobs,
+            "released_jobs": self.released_jobs,
+            "rejected_jobs": self.rejected_jobs,
+            "completed_jobs": self.completed_jobs,
+            "deadline_misses": self.deadline_misses,
+            "accepted_utilization_ratio": self.accepted_utilization_ratio,
+            "mean_response_time": self.mean_response_time,
+            "events_executed": self.events_executed,
+            "messages_sent": self.messages_sent,
+            "reserve_messages": self.reserve_messages,
+            "cpu_utilization": dict(self.cpu_utilization),
+            "final_synthetic_utilization": dict(self.final_synthetic_utilization),
+            "overhead": {k: v.to_json() for k, v in self.overhead.items()},
+            "comm_delay": self.comm_delay.to_json(),
+        }
+        return data
+
+    def to_json_str(self, indent: int = 2) -> str:
+        return json.dumps(self.to_json(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, data: Dict[str, Any]) -> "RunResult":
+        allowed = {f.name for f in fields(cls)}
+        unknown = set(data) - allowed
+        if unknown:
+            raise ConfigurationError(
+                f"unknown run-result field(s): {', '.join(sorted(unknown))}"
+            )
+        kwargs = dict(data)
+        kwargs["overhead"] = {
+            k: StatSnapshot.from_json(v)
+            for k, v in data.get("overhead", {}).items()
+        }
+        kwargs["comm_delay"] = StatSnapshot.from_json(data.get("comm_delay", {}))
+        return cls(**kwargs)
+
+
+# ----------------------------------------------------------------------
+# Session
+# ----------------------------------------------------------------------
+class Session:
+    """Deploys a scenario into a live system and runs it exactly once.
+
+    ``via_dance=True`` routes a middleware-engine scenario through the
+    DAnCE-lite pipeline (workload + combo -> XML deployment plan ->
+    Execution Manager), proving the declarative and deployment-descriptor
+    paths assemble identical systems.
+    """
+
+    def __init__(self, scenario: Scenario, via_dance: bool = False) -> None:
+        if not isinstance(scenario, Scenario):
+            raise ConfigurationError(
+                f"Session needs a Scenario, got {type(scenario).__name__}"
+            )
+        if via_dance and scenario.engine != ENGINE_MIDDLEWARE:
+            raise ConfigurationError(
+                "the DAnCE-lite pipeline deploys middleware scenarios only, "
+                f"not {scenario.engine!r}"
+            )
+        self.scenario = scenario
+        self.via_dance = via_dance
+        self._system = None
+        self._result: Optional[RunResult] = None
+
+    # -- deployment -------------------------------------------------------
+    @property
+    def system(self):
+        """The deployed system (None until :meth:`deploy` or :meth:`run`)."""
+        return self._system
+
+    def deploy(self):
+        """Build (and keep) the live system for this scenario."""
+        if self._system is not None:
+            return self._system
+        scenario = self.scenario
+        if scenario.engine == ENGINE_REPLAY:
+            raise ConfigurationError(
+                "replay scenarios are analytic and have no deployment; "
+                "call Session.run() directly"
+            )
+        workload = scenario.workload.materialize()
+        if scenario.engine == ENGINE_DISTRIBUTED:
+            from repro.core.distributed_ac import DistributedMiddlewareSystem
+
+            self._system = DistributedMiddlewareSystem(
+                workload,
+                seed=scenario.seed,
+                cost_model=scenario.cost_model,
+                delay_model=scenario.delay_model,
+                aperiodic_interarrival_factor=(
+                    scenario.aperiodic_interarrival_factor
+                ),
+            )
+            return self._system
+        if self.via_dance:
+            from repro.config.dance import DeploymentEngine
+
+            self._system = DeploymentEngine().deploy_scenario(scenario)
+        else:
+            from repro.core.middleware import MiddlewareSystem
+
+            self._system = MiddlewareSystem(
+                workload,
+                scenario.strategy_combo,
+                cost_model=scenario.cost_model,
+                seed=scenario.seed,
+                trace=scenario.trace,
+                delay_model=scenario.delay_model,
+                aperiodic_interarrival_factor=(
+                    scenario.aperiodic_interarrival_factor
+                ),
+            )
+        self._apply_disturbances(self._system)
+        return self._system
+
+    def _apply_disturbances(self, system) -> None:
+        self._check_resolved_burst_overlap(system)
+        for disturbance in self.scenario.disturbances:
+            if isinstance(disturbance, Burst):
+                self._schedule_burst(system, disturbance)
+            elif isinstance(disturbance, Slowdown):
+                self._schedule_slowdown(system, disturbance)
+
+    def _check_resolved_burst_overlap(self, system) -> None:
+        # Scenario validation catches overlaps keyed by literal task_id,
+        # but a burst with task_id=None resolves to the first aperiodic
+        # task only now that the workload is live — re-check with the
+        # resolved targets so no duplicate job keys reach the admission
+        # registry.
+        spans: Dict[str, list] = {}
+        for disturbance in self.scenario.disturbances:
+            if not isinstance(disturbance, Burst) or disturbance.jobs == 0:
+                continue
+            resolved = self._resolve_burst_task(system, disturbance).task_id
+            span = (disturbance.base_index,
+                    disturbance.base_index + disturbance.jobs)
+            for other in spans.get(resolved, ()):
+                if span[0] < other[1] and other[0] < span[1]:
+                    raise ConfigurationError(
+                        f"burst disturbances resolve to the same task "
+                        f"{resolved!r} with overlapping job index ranges "
+                        f"{other} and {span}; give each burst a distinct "
+                        "base_index"
+                    )
+            spans.setdefault(resolved, []).append(span)
+
+    @staticmethod
+    def _resolve_burst_task(system, burst: Burst):
+        workload = system.workload
+        if burst.task_id is None:
+            aperiodic = workload.aperiodic_tasks
+            if not aperiodic:
+                raise ConfigurationError(
+                    "burst disturbance needs an aperiodic task in the workload"
+                )
+            return aperiodic[0]
+        return workload.task(burst.task_id)
+
+    @classmethod
+    def _schedule_burst(cls, system, burst: Burst) -> None:
+        task = cls._resolve_burst_task(system, burst)
+        for i in range(burst.jobs):
+            arrival = burst.time + i * burst.spacing
+            system.sim.schedule_at(
+                arrival, system._arrive, task, burst.base_index + i, arrival
+            )
+
+    @staticmethod
+    def _schedule_slowdown(system, slowdown: Slowdown) -> None:
+        nodes = slowdown.nodes or tuple(system.workload.app_nodes)
+        for node in nodes:
+            if node not in system.processors:
+                raise ConfigurationError(
+                    f"slowdown disturbance references unknown processor {node!r}"
+                )
+
+        def throttle() -> None:
+            for node in nodes:
+                system.processors[node].set_speed(slowdown.factor)
+
+        system.sim.schedule_at(slowdown.time, throttle)
+
+    # -- execution --------------------------------------------------------
+    def run(self) -> RunResult:
+        """Deploy (if needed), run to completion, and summarize."""
+        if self._result is not None:
+            raise ConfigurationError("this session already ran")
+        scenario = self.scenario
+        if scenario.engine == ENGINE_REPLAY:
+            self._result = self._run_replay()
+        elif scenario.engine == ENGINE_DISTRIBUTED:
+            self._result = self._run_distributed()
+        else:
+            self._result = self._run_middleware()
+        return self._result
+
+    @property
+    def result(self) -> Optional[RunResult]:
+        return self._result
+
+    def _run_middleware(self) -> RunResult:
+        scenario = self.scenario
+        system = self.deploy()
+        results = system.run(scenario.duration, drain=scenario.drain)
+        metrics = results.metrics
+        return RunResult(
+            scenario_label=scenario.effective_label,
+            combo_label=results.combo_label,
+            engine=scenario.engine,
+            seed=scenario.seed,
+            duration=results.duration,
+            arrived_jobs=metrics.arrived_jobs,
+            released_jobs=metrics.released_jobs,
+            rejected_jobs=metrics.rejected_jobs,
+            completed_jobs=metrics.completed_jobs,
+            deadline_misses=metrics.latency.deadline_misses,
+            accepted_utilization_ratio=metrics.accepted_utilization_ratio,
+            mean_response_time=metrics.latency.response_times.mean,
+            events_executed=results.events_executed,
+            messages_sent=results.messages_sent,
+            cpu_utilization=dict(results.cpu_utilization),
+            final_synthetic_utilization=dict(
+                results.final_synthetic_utilization
+            ),
+            overhead={
+                name: StatSnapshot.from_series(results.overhead.series(name))
+                for name in ALL_ROWS
+            },
+            comm_delay=StatSnapshot.from_series(system.network.delay_stats),
+        )
+
+    def _run_distributed(self) -> RunResult:
+        scenario = self.scenario
+        system = self.deploy()
+        results = system.run(scenario.duration, drain=scenario.drain)
+        metrics = results.metrics
+        return RunResult(
+            scenario_label=scenario.effective_label,
+            combo_label=scenario.strategy_combo.label,
+            engine=scenario.engine,
+            seed=scenario.seed,
+            duration=results.duration,
+            arrived_jobs=metrics.arrived_jobs,
+            released_jobs=metrics.released_jobs,
+            rejected_jobs=metrics.rejected_jobs,
+            completed_jobs=metrics.completed_jobs,
+            deadline_misses=metrics.latency.deadline_misses,
+            accepted_utilization_ratio=metrics.accepted_utilization_ratio,
+            mean_response_time=metrics.latency.response_times.mean,
+            events_executed=system.sim.events_executed,
+            messages_sent=results.messages_sent,
+            reserve_messages=results.reserve_messages,
+            final_synthetic_utilization=dict(results.final_utilization),
+            comm_delay=StatSnapshot.from_series(system.network.delay_stats),
+        )
+
+    def _run_replay(self) -> RunResult:
+        from repro.sched.replay import jobs_from_plan, replay
+        from repro.sim.rng import RngRegistry
+        from repro.workloads.arrivals import build_arrival_plan
+
+        scenario = self.scenario
+        workload = scenario.workload.materialize()
+        rngs = RngRegistry(scenario.seed)
+        plan = build_arrival_plan(
+            workload,
+            scenario.duration,
+            rngs.stream(scenario.arrival_stream),
+            scenario.aperiodic_interarrival_factor,
+        )
+        policy = default_registry().policy(
+            scenario.policy,
+            list(workload.app_nodes),
+            **dict(scenario.policy_params),
+        )
+        outcome = replay(jobs_from_plan(workload, plan), policy)
+        return RunResult(
+            scenario_label=scenario.effective_label,
+            combo_label=scenario.strategy_combo.label,
+            engine=scenario.engine,
+            seed=scenario.seed,
+            duration=scenario.duration,
+            arrived_jobs=outcome.arrived_jobs,
+            released_jobs=outcome.admitted_jobs,
+            rejected_jobs=outcome.arrived_jobs - outcome.admitted_jobs,
+            completed_jobs=outcome.admitted_jobs,
+            deadline_misses=0,
+            accepted_utilization_ratio=outcome.accepted_utilization_ratio,
+        )
+
+
+def run_scenario(
+    scenario: Scenario, via_dance: bool = False
+) -> RunResult:
+    """One-shot convenience: ``Session(scenario).run()``."""
+    return Session(scenario, via_dance=via_dance).run()

@@ -2,8 +2,16 @@
 
 Commands
 --------
-figure5 / figure6 / figure8 / table1 / ablation
-    Regenerate a paper table or figure and print it.
+figure5 / figure6 / figure8 / table1 / ablation / sensitivity / disturbance
+    Regenerate a paper table/figure (or a beyond-the-paper sweep) and
+    print it; ``--json PATH`` additionally exports the data
+    machine-readably, ``--workers N`` bounds the parallel fan-out.
+scenario export PATH ...
+    Build a declarative :class:`repro.api.Scenario` from flags and write
+    it as JSON.
+scenario run PATH [--json OUT]
+    Load a scenario JSON file, run it through a Session, print (and
+    optionally export) the typed RunResult.
 analyze <workload-spec>
     Offline AUB feasibility report for a workload specification file.
 configure <workload-spec> [--answers C1,C3,C2,TOL] [--xml-out PATH]
@@ -12,28 +20,37 @@ configure <workload-spec> [--answers C1,C3,C2,TOL] [--xml-out PATH]
 run <workload-spec> [--combo LABEL] [--duration SEC] [--seed N]
     Deploy a workload (via DAnCE-lite) and run it, printing metrics.
 combos
-    List the 15 valid strategy combinations.
+    List the 15 valid strategy combinations (the registry's names).
+
+All experiment and run commands construct their runs through the
+``repro.api`` scenario surface.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
-from typing import List, Optional
+from typing import Any, List, Optional
 
+from repro.api import Scenario, Session, default_registry
 from repro.config.characteristics import ApplicationCharacteristics
 from repro.config.engine import ConfigurationEngine
 from repro.config.workload_spec import load_workload
-from repro.core.strategies import StrategyCombo, valid_combinations
+from repro.core.strategies import valid_combinations
 from repro.errors import ReproError
 from repro.experiments import (
     run_aub_vs_deferrable,
+    run_disturbance_suite,
     run_figure5,
     run_figure6,
     run_figure8,
     run_table1,
+    sweep_load,
+    sweep_network_delay,
+    sweep_overhead,
 )
-from repro.experiments.table1 import format_rows
+from repro.experiments.table1 import format_rows, rows_to_json
 from repro.sched.offline import analyze_workload, format_report
 
 
@@ -45,25 +62,84 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
+    def _experiment_parser(name: str, doc: str) -> argparse.ArgumentParser:
+        p = sub.add_parser(name, help=doc)
+        p.add_argument("--workers", type=int, default=None,
+                       help="parallel worker processes (default: all cores)")
+        p.add_argument("--json", metavar="PATH", default=None,
+                       help="also write the result data as JSON")
+        return p
+
     for name, doc in (
         ("figure5", "random workloads, 15 combos (paper section 7.1)"),
         ("figure6", "imbalanced workloads, LB comparison (section 7.2)"),
     ):
-        p = sub.add_parser(name, help=doc)
+        p = _experiment_parser(name, doc)
         p.add_argument("--sets", type=int, default=10)
         p.add_argument("--duration", type=float, default=60.0)
         p.add_argument("--seed", type=int, default=2008)
 
-    p8 = sub.add_parser("figure8", help="service overhead table (section 7.3)")
+    p8 = _experiment_parser("figure8", "service overhead table (section 7.3)")
     p8.add_argument("--duration", type=float, default=300.0)
     p8.add_argument("--seed", type=int, default=2008)
 
-    sub.add_parser("table1", help="criteria-to-strategy mapping")
+    _experiment_parser("table1", "criteria-to-strategy mapping")
 
-    pa = sub.add_parser("ablation", help="AUB vs Deferrable Server admission")
+    pa = _experiment_parser("ablation", "AUB vs Deferrable Server admission")
     pa.add_argument("--sets", type=int, default=10)
     pa.add_argument("--duration", type=float, default=120.0)
     pa.add_argument("--seed", type=int, default=2008)
+
+    ps = _experiment_parser(
+        "sensitivity", "load/overhead/delay sweeps (beyond the paper)"
+    )
+    ps.add_argument("--duration", type=float, default=60.0)
+    ps.add_argument("--seed", type=int, default=2008)
+    ps.add_argument("--combo", default="J_J_J")
+
+    pd = _experiment_parser(
+        "disturbance", "burst + slowdown probes of the AUB guarantee"
+    )
+    pd.add_argument("--duration", type=float, default=60.0)
+    pd.add_argument("--seed", type=int, default=2008)
+
+    # -- declarative scenario surface ----------------------------------
+    pscen = sub.add_parser(
+        "scenario", help="export/run declarative scenario JSON files"
+    )
+    scen_sub = pscen.add_subparsers(dest="scenario_command", required=True)
+
+    pse = scen_sub.add_parser("export", help="write a scenario JSON file")
+    pse.add_argument("path", help="output JSON path ('-' for stdout)")
+    group = pse.add_mutually_exclusive_group(required=True)
+    group.add_argument("--workload", help="workload specification file")
+    group.add_argument(
+        "--random-seed", type=int, default=None,
+        help="generate the workload (section 7.1 recipe) from this seed",
+    )
+    pse.add_argument("--imbalanced", action="store_true",
+                     help="use the section 7.2 imbalanced generator")
+    pse.add_argument("--combo", default=None,
+                     help="strategy combo name (default: T_T_T, or J_N_N "
+                          "with --distributed)")
+    pse.add_argument("--duration", type=float, default=60.0)
+    pse.add_argument("--seed", type=int, default=0)
+    pse.add_argument("--factor", type=float, default=2.0,
+                     help="aperiodic interarrival factor")
+    pse.add_argument("--distributed", action="store_true",
+                     help="target the distributed-AC engine")
+    pse.add_argument("--burst", metavar="TIME:JOBS", default=None,
+                     help="inject an aperiodic burst disturbance")
+    pse.add_argument("--slowdown", metavar="TIME:FACTOR", default=None,
+                     help="inject a processor slowdown disturbance")
+    pse.add_argument("--label", default=None)
+
+    psr = scen_sub.add_parser("run", help="run a scenario JSON file")
+    psr.add_argument("path", help="scenario JSON path")
+    psr.add_argument("--json", metavar="PATH", default=None,
+                     help="write the RunResult as JSON")
+    psr.add_argument("--via-dance", action="store_true",
+                     help="deploy through the DAnCE-lite XML plan pipeline")
 
     pan = sub.add_parser("analyze", help="offline AUB feasibility report")
     pan.add_argument("workload")
@@ -76,12 +152,16 @@ def _build_parser() -> argparse.ArgumentParser:
         "state_persistence,tolerance (e.g. N,Y,Y,PT)",
     )
     pc.add_argument("--xml-out", help="write the deployment plan XML here")
+    pc.add_argument("--scenario-out",
+                    help="write the configured run as scenario JSON here")
 
     pr = sub.add_parser("run", help="deploy and run a workload spec")
     pr.add_argument("workload")
     pr.add_argument("--combo", default="T_T_T")
     pr.add_argument("--duration", type=float, default=60.0)
     pr.add_argument("--seed", type=int, default=0)
+    pr.add_argument("--json", metavar="PATH", default=None,
+                    help="write the RunResult as JSON")
 
     sub.add_parser("combos", help="list the 15 valid strategy combinations")
     return parser
@@ -106,32 +186,174 @@ def _parse_answers(raw: Optional[str]) -> Optional[ApplicationCharacteristics]:
     )
 
 
+def _write_json(path: Optional[str], payload: Any) -> None:
+    if path is None:
+        return
+    text = json.dumps(payload, indent=2, sort_keys=True)
+    if path == "-":
+        print(text)
+    else:
+        with open(path, "w") as handle:
+            handle.write(text + "\n")
+        print(f"JSON written to {path}")
+
+
+def _parse_pair(raw: str, flag: str, int_value: bool = False) -> tuple:
+    parts = raw.split(":")
+    if len(parts) != 2:
+        raise ReproError(f"{flag} expects TIME:VALUE, got {raw!r}")
+    try:
+        return float(parts[0]), (int(parts[1]) if int_value else float(parts[1]))
+    except ValueError:
+        raise ReproError(f"{flag} expects numeric TIME:VALUE, got {raw!r}") from None
+
+
+def _scenario_export(args) -> None:
+    builder = Scenario.builder()
+    if args.workload is not None:
+        if args.imbalanced:
+            raise ReproError(
+                "--imbalanced selects a generator recipe and conflicts "
+                "with an explicit --workload spec file"
+            )
+        builder.workload(load_workload(args.workload))
+    elif args.imbalanced:
+        builder.imbalanced_workload(seed=args.random_seed)
+    else:
+        builder.random_workload(seed=args.random_seed)
+    builder.duration(args.duration).seed(args.seed)
+    builder.interarrival_factor(args.factor)
+    if args.distributed:
+        builder.distributed()  # defaults the combo to J_N_N
+    if args.combo is not None:
+        builder.combo(args.combo)
+    if args.burst is not None:
+        time, jobs = _parse_pair(args.burst, "--burst", int_value=True)
+        builder.burst(time=time, jobs=jobs)
+    if args.slowdown is not None:
+        time, factor = _parse_pair(args.slowdown, "--slowdown")
+        builder.slowdown(time=time, factor=factor)
+    if args.label is not None:
+        builder.label(args.label)
+    scenario = builder.build()
+    if args.path == "-":
+        print(scenario.to_json_str())
+    else:
+        scenario.save(args.path)
+        print(f"scenario written to {args.path}")
+
+
+def _print_run_result(result) -> None:
+    for key, value in result.summary().items():
+        print(f"{key}: {value}")
+    print(f"accepted_utilization_ratio: {result.accepted_utilization_ratio:.4f}")
+
+
+def _scenario_run(args) -> None:
+    scenario = Scenario.load(args.path)
+    print(f"scenario: {scenario.effective_label} "
+          f"(engine={scenario.engine}, duration={scenario.duration:.0f}s)")
+    result = Session(scenario, via_dance=args.via_dance).run()
+    _print_run_result(result)
+    _write_json(args.json, result.to_json())
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
     command = args.command
 
     if command == "figure5":
         result = run_figure5(
-            n_sets=args.sets, duration=args.duration, seed=args.seed
+            n_sets=args.sets, duration=args.duration, seed=args.seed,
+            n_workers=args.workers,
         )
         print(result.format())
         print(f"IR-strategy means: {result.by_ir_strategy()}")
+        _write_json(args.json, result.to_json())
     elif command == "figure6":
         result = run_figure6(
-            n_sets=args.sets, duration=args.duration, seed=args.seed
+            n_sets=args.sets, duration=args.duration, seed=args.seed,
+            n_workers=args.workers,
         )
         print(result.format())
         print(f"LB-strategy means: {result.lb_means()}")
+        _write_json(args.json, result.to_json())
     elif command == "figure8":
-        result = run_figure8(duration=args.duration, seed=args.seed)
-        print(result.format())
-    elif command == "table1":
-        print(format_rows(run_table1()))
-    elif command == "ablation":
-        result = run_aub_vs_deferrable(
-            n_sets=args.sets, duration=args.duration, seed=args.seed
+        result = run_figure8(
+            duration=args.duration, seed=args.seed, n_workers=args.workers
         )
         print(result.format())
+        _write_json(args.json, result.to_json())
+    elif command == "table1":
+        rows = run_table1(n_workers=args.workers or 1)
+        print(format_rows(rows))
+        _write_json(
+            args.json, {"experiment": "table1", "rows": rows_to_json(rows)}
+        )
+    elif command == "ablation":
+        result = run_aub_vs_deferrable(
+            n_sets=args.sets, duration=args.duration, seed=args.seed,
+            n_workers=args.workers,
+        )
+        print(result.format())
+        _write_json(args.json, result.to_json())
+    elif command == "sensitivity":
+        combo = default_registry().combo(args.combo)
+        load = sweep_load(
+            combo=combo, duration=args.duration, seed=args.seed,
+            n_workers=args.workers,
+        )
+        overhead = sweep_overhead(
+            combo=combo, duration=args.duration, seed=args.seed,
+            n_workers=args.workers,
+        )
+        delay = sweep_network_delay(
+            combo=combo, duration=args.duration, seed=args.seed,
+            n_workers=args.workers,
+        )
+        for sweep in (load, overhead):
+            print(f"{sweep.parameter} [{sweep.combo_label}]:")
+            for x, ratio in sweep.points:
+                print(f"  {x:>10g}  ratio={ratio:.4f}")
+        print(f"network delay [{combo.label}]:")
+        for point in delay:
+            print(
+                f"  {point.delay:>10g}  ratio="
+                f"{point.accepted_utilization_ratio:.4f}  "
+                f"mean_response={point.mean_response:.6f}  "
+                f"misses={point.deadline_misses}"
+            )
+        _write_json(
+            args.json,
+            {
+                "experiment": "sensitivity",
+                "load": load.to_json(),
+                "overhead": overhead.to_json(),
+                "delay": [p.to_json() for p in delay],
+            },
+        )
+    elif command == "disturbance":
+        results = run_disturbance_suite(
+            duration=args.duration, seed=args.seed, n_workers=args.workers
+        )
+        for res in results:
+            print(
+                f"{res.scenario}: ratio={res.accepted_utilization_ratio:.4f} "
+                f"misses={res.deadline_misses} released={res.released_jobs} "
+                f"rejected={res.rejected_jobs} detail={res.detail}"
+            )
+        _write_json(
+            args.json,
+            {
+                "experiment": "disturbance",
+                "results": [r.to_json() for r in results],
+            },
+        )
+    elif command == "scenario":
+        if args.scenario_command == "export":
+            _scenario_export(args)
+        else:
+            _scenario_run(args)
     elif command == "analyze":
         workload = load_workload(args.workload)
         print(format_report(analyze_workload(workload)))
@@ -143,23 +365,27 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(f"strategy combination: {result.combo.label}")
         for note in result.notes:
             print(f"note: {note}")
+        if args.scenario_out:
+            engine.scenario(result).save(args.scenario_out)
+            print(f"scenario written to {args.scenario_out}")
         if args.xml_out:
             with open(args.xml_out, "w") as handle:
                 handle.write(result.xml)
             print(f"deployment plan written to {args.xml_out}")
-        else:
+        elif not args.scenario_out:
             print(result.xml)
     elif command == "run":
         engine = ConfigurationEngine()
         result = engine.configure(
             load_workload(args.workload),
-            combo=StrategyCombo.from_label(args.combo),
+            combo=default_registry().combo(args.combo),
         )
-        system = engine.deploy(result, seed=args.seed)
-        run = system.run(duration=args.duration)
-        for key, value in run.metrics.summary().items():
-            print(f"{key}: {value}")
-        print(f"accepted_utilization_ratio: {run.accepted_utilization_ratio:.4f}")
+        scenario = engine.scenario(
+            result, duration=args.duration, seed=args.seed
+        )
+        run = Session(scenario, via_dance=True).run()
+        _print_run_result(run)
+        _write_json(args.json, run.to_json())
     elif command == "combos":
         for combo in valid_combinations():
             print(combo.label)

@@ -36,6 +36,7 @@ from repro.config.plan import (
     IMPL_LAST_SUBTASK,
     IMPL_LB,
     IMPL_TE,
+    build_deployment_plan,
 )
 from repro.config.validation import validate_plan
 from repro.config.xml_io import parse_xml
@@ -216,3 +217,31 @@ class DeploymentEngine:
             system.lb = lb
         system.finish_deployment()
         return system
+
+    def deploy_scenario(self, scenario) -> MiddlewareSystem:
+        """Deploy a :class:`repro.api.Scenario` through the full pipeline.
+
+        The scenario's workload and strategy combination become an XML-able
+        deployment plan, which the Execution Manager then installs — so a
+        declarative scenario and a hand-written deployment descriptor take
+        exactly the same path into a live system.  Only middleware-engine
+        scenarios are deployable; disturbances are scheduled by the
+        :class:`repro.api.Session` that owns the scenario, not here.
+        """
+        from repro.api.scenario import ENGINE_MIDDLEWARE
+
+        if scenario.engine != ENGINE_MIDDLEWARE:
+            raise DeploymentError(
+                "the DAnCE-lite pipeline deploys middleware scenarios only, "
+                f"not {scenario.engine!r}"
+            )
+        workload = scenario.workload.materialize()
+        plan = build_deployment_plan(workload, scenario.strategy_combo)
+        return self.deploy(
+            plan,
+            seed=scenario.seed,
+            cost_model=scenario.cost_model,
+            trace=scenario.trace,
+            delay_model=scenario.delay_model,
+            aperiodic_interarrival_factor=scenario.aperiodic_interarrival_factor,
+        )

@@ -118,6 +118,26 @@ class ConfigurationEngine:
         return self.configure(workload, characteristics)
 
     # ------------------------------------------------------------------
+    # Scenario emission (repro.api integration)
+    # ------------------------------------------------------------------
+    def scenario(self, result: EngineResult, **scenario_fields):
+        """Emit the engine's decision as a :class:`repro.api.Scenario`.
+
+        The scenario embeds the configured workload and the mapped
+        strategy combination; extra keyword arguments (``duration``,
+        ``seed``, ``cost_model``, ...) pass through to the scenario,
+        which validates them.  Run it with :class:`repro.api.Session`
+        (``via_dance=True`` routes back through this pipeline).
+        """
+        from repro.api.scenario import Scenario, WorkloadSource
+
+        return Scenario(
+            workload=WorkloadSource.explicit(result.workload),
+            combo=result.combo.label,
+            **scenario_fields,
+        )
+
+    # ------------------------------------------------------------------
     # Deployment
     # ------------------------------------------------------------------
     def deploy(self, result: EngineResult, **runtime_kwargs) -> MiddlewareSystem:

@@ -7,8 +7,15 @@ and one F/I or Last Subtask component per (task, stage, eligible
 processor).  It then drives the workload's arrival plan through the task
 effectors and collects results.
 
-It is both the programmatic public API (used directly by the examples and
-experiments) and the runtime the DAnCE-lite deployment pipeline targets.
+It is the runtime substrate that both the declarative ``repro.api``
+surface and the DAnCE-lite deployment pipeline target.  Direct
+construction (``MiddlewareSystem(workload, combo, ...)``) is retained as
+a deprecated back-compat path: new code should build a
+:class:`repro.api.Scenario` and run it through
+:class:`repro.api.Session`, which validates the full parameter set,
+serializes to JSON, and returns a typed
+:class:`~repro.api.session.RunResult` instead of the loosely-shaped
+:class:`SystemResults`.  See ``docs/API.md`` for the migration table.
 """
 
 from __future__ import annotations

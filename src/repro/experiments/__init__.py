@@ -16,26 +16,81 @@ run scaled-down versions while benchmarks run paper-scale ones, plus an
 ``n_workers`` parameter (default: ``$REPRO_WORKERS`` or the CPU count)
 controlling the parallel fan-out; results are bit-identical for every
 worker count.
+
+Every experiment module also exposes a ``build_*_suite`` constructor
+returning its grid as a declarative
+:class:`~repro.api.suite.ExperimentSuite` of
+:class:`~repro.api.scenario.Scenario` cells — the ``run_*`` entry points
+are thin folds over ``suite.run_results(n_workers)``.
 """
 
-from repro.experiments.figure5 import Figure5Result, run_figure5
-from repro.experiments.figure6 import Figure6Result, run_figure6
-from repro.experiments.figure8 import Figure8Result, run_figure8
+from repro.experiments.figure5 import (
+    Figure5Result,
+    build_figure5_suite,
+    run_figure5,
+)
+from repro.experiments.figure6 import (
+    Figure6Result,
+    build_figure6_suite,
+    run_figure6,
+)
+from repro.experiments.figure8 import (
+    Figure8Result,
+    build_figure8_suite,
+    run_figure8,
+)
 from repro.experiments.runner import resolve_workers, run_cells
-from repro.experiments.table1 import Table1Row, run_table1
-from repro.experiments.ablation import AblationResult, run_aub_vs_deferrable
+from repro.experiments.table1 import Table1Row, build_table1_suite, run_table1
+from repro.experiments.ablation import (
+    AblationResult,
+    build_ablation_suite,
+    run_aub_vs_deferrable,
+)
+from repro.experiments.disturbance import (
+    DisturbanceResult,
+    build_disturbance_suite,
+    run_burst_scenario,
+    run_disturbance_suite,
+    run_slowdown_scenario,
+)
+from repro.experiments.sensitivity import (
+    SweepResult,
+    build_delay_suite,
+    build_load_suite,
+    build_overhead_suite,
+    sweep_load,
+    sweep_network_delay,
+    sweep_overhead,
+)
 
 __all__ = [
     "Figure5Result",
     "run_figure5",
+    "build_figure5_suite",
     "Figure6Result",
     "run_figure6",
+    "build_figure6_suite",
     "Figure8Result",
     "run_figure8",
+    "build_figure8_suite",
     "Table1Row",
     "run_table1",
+    "build_table1_suite",
     "AblationResult",
     "run_aub_vs_deferrable",
+    "build_ablation_suite",
+    "DisturbanceResult",
+    "run_burst_scenario",
+    "run_slowdown_scenario",
+    "run_disturbance_suite",
+    "build_disturbance_suite",
+    "SweepResult",
+    "sweep_load",
+    "sweep_overhead",
+    "sweep_network_delay",
+    "build_load_suite",
+    "build_overhead_suite",
+    "build_delay_suite",
     "resolve_workers",
     "run_cells",
 ]

@@ -11,14 +11,18 @@ the difference is purely the admission mathematics).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import Any, Dict, List, Optional
 
+from repro.api.scenario import Scenario, WorkloadSource
+from repro.api.suite import ExperimentSuite
 from repro.experiments.report import format_table
-from repro.experiments.runner import replay_cell, run_cells
-from repro.sched.task import Job
+from repro.sched.replay import jobs_from_plan
 from repro.sim.rng import RngRegistry
 from repro.workloads.generator import RandomWorkloadParams, generate_random_workload
 from repro.workloads.model import Workload
+
+#: Back-compat alias — the canonical helper lives in repro.sched.replay.
+_jobs_from_plan = jobs_from_plan
 
 
 @dataclass
@@ -48,20 +52,61 @@ class AblationResult:
             title="Ablation — AUB vs Deferrable Server admission",
         )
 
+    def to_json(self) -> Dict[str, Any]:
+        return {
+            "experiment": "ablation",
+            "aub_ratios": list(self.aub_ratios),
+            "ds_ratios": list(self.ds_ratios),
+            "aub_mean": self.aub_mean,
+            "ds_mean": self.ds_mean,
+        }
 
-def _jobs_from_plan(workload: Workload, plan) -> List[Job]:
-    jobs: List[Job] = []
-    tasks = {t.task_id: t for t in workload.tasks}
-    for task_id, times in plan.times.items():
-        task = tasks[task_id]
-        arrival_node = task.subtasks[0].home
-        for index, t in enumerate(times):
-            job = Job(
-                task=task, index=index, arrival_time=t, arrival_node=arrival_node
+
+def build_ablation_suite(
+    n_sets: int = 10,
+    duration: float = 120.0,
+    seed: int = 2008,
+    params: Optional[RandomWorkloadParams] = None,
+    aperiodic_interarrival_factor: float = 2.0,
+    server_utilization: float = 0.3,
+    server_period: float = 0.1,
+) -> ExperimentSuite:
+    """The ablation as a declarative replay-scenario grid.
+
+    Task sets are generated up front from the shared stream (preserving
+    the serial draw order); each set becomes *two* replay scenarios (AUB
+    and Deferrable Server) whose per-set arrival streams are keyed by set
+    index, so both replay exactly the same trace no matter which worker
+    runs them.
+    """
+    gen_rng = RngRegistry(seed).stream("task_sets")
+    workloads = [generate_random_workload(gen_rng, params) for _ in range(n_sets)]
+    cells = []
+    for set_index, workload in enumerate(workloads):
+        source = WorkloadSource.explicit(workload)
+        common = dict(
+            workload=source,
+            duration=duration,
+            seed=seed,
+            aperiodic_interarrival_factor=aperiodic_interarrival_factor,
+            arrival_stream=f"arrivals:{set_index}",
+            engine="replay",
+        )
+        cells.append(
+            Scenario(policy="aub", label=f"aub/set{set_index}", **common)
+        )
+        cells.append(
+            Scenario(
+                policy="deferrable_server",
+                policy_params=(
+                    ("server_period", server_period),
+                    ("server_utilization", server_utilization),
+                ),
+                label=f"ds/set{set_index}",
+                **common,
             )
-            job.assignment = task.home_assignment()
-            jobs.append(job)
-    return jobs
+        )
+    return ExperimentSuite(name="ablation", cells=tuple(cells))
 
 
 def run_aub_vs_deferrable(
@@ -85,26 +130,21 @@ def run_aub_vs_deferrable(
 
     Task sets are generated up front from the shared stream (preserving
     the serial draw order) and then replayed as independent parallel
-    cells; per-set arrival streams are keyed by set index, so each cell
-    reproduces exactly the serial trace.
+    scenario cells; per-set arrival streams are keyed by set index, so
+    each cell reproduces exactly the serial trace.
     """
-    rngs = RngRegistry(seed)
-    gen_rng = rngs.stream("task_sets")
-    workloads = [generate_random_workload(gen_rng, params) for _ in range(n_sets)]
-    cells = [
-        (
-            workload,
-            set_index,
-            seed,
-            duration,
-            aperiodic_interarrival_factor,
-            server_utilization,
-            server_period,
-        )
-        for set_index, workload in enumerate(workloads)
-    ]
+    suite = build_ablation_suite(
+        n_sets=n_sets,
+        duration=duration,
+        seed=seed,
+        params=params,
+        aperiodic_interarrival_factor=aperiodic_interarrival_factor,
+        server_utilization=server_utilization,
+        server_period=server_period,
+    )
+    outcomes = iter(suite.run_results(n_workers))
     result = AblationResult()
-    for aub_ratio, ds_ratio in run_cells(replay_cell, cells, n_workers):
-        result.aub_ratios.append(aub_ratio)
-        result.ds_ratios.append(ds_ratio)
+    for aub_run, ds_run in zip(outcomes, outcomes):
+        result.aub_ratios.append(aub_run.accepted_utilization_ratio)
+        result.ds_ratios.append(ds_run.accepted_utilization_ratio)
     return result

@@ -16,19 +16,22 @@ purpose:
 These scenarios double as regression tests that the middleware *fails
 the way the theory predicts* — a stronger check than only testing the
 happy path.
+
+Disturbances are first-class :class:`~repro.api.scenario.Scenario` data
+(:class:`~repro.api.scenario.Burst` / ``Slowdown`` hooks), so the same
+multiprocessing runner that fans out the paper figures executes
+disturbance grids too — deterministically for any worker count.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Dict, List, Optional
 
-from repro.core.cost_model import CostModel
-from repro.core.middleware import MiddlewareSystem
-from repro.core.strategies import StrategyCombo
-from repro.sched.task import Job, TaskKind, TaskSpec
-from repro.sim.rng import RngRegistry
-from repro.workloads.generator import RandomWorkloadParams, generate_random_workload
+from repro.api.scenario import Burst, Scenario, Slowdown, WorkloadSource
+from repro.api.session import RunResult, Session
+from repro.api.suite import ExperimentSuite
+from repro.workloads.generator import RandomWorkloadParams
 from repro.workloads.model import Workload
 
 
@@ -43,19 +46,78 @@ class DisturbanceResult:
     rejected_jobs: int
     detail: Dict[str, float]
 
+    def to_json(self) -> dict:
+        return {
+            "scenario": self.scenario,
+            "accepted_utilization_ratio": self.accepted_utilization_ratio,
+            "deadline_misses": self.deadline_misses,
+            "released_jobs": self.released_jobs,
+            "rejected_jobs": self.rejected_jobs,
+            "detail": dict(self.detail),
+        }
 
-def _base_system(
+
+def _source(
     seed: int,
-    combo_label: str,
+    params: Optional[RandomWorkloadParams],
+    workload: Optional[Workload],
+) -> WorkloadSource:
+    if workload is not None:
+        return WorkloadSource.explicit(workload)
+    # The historical scenarios drew their workload from the "wl" stream.
+    return WorkloadSource.random(seed=seed, params=params, stream="wl")
+
+
+def build_burst_scenario(
+    duration: float = 60.0,
+    burst_time: float = 20.0,
+    burst_jobs: int = 30,
+    seed: int = 2008,
+    combo_label: str = "J_J_N",
     params: Optional[RandomWorkloadParams] = None,
     workload: Optional[Workload] = None,
-) -> MiddlewareSystem:
-    if workload is None:
-        workload = generate_random_workload(
-            RngRegistry(seed).stream("wl"), params
-        )
-    return MiddlewareSystem(
-        workload, StrategyCombo.from_label(combo_label), seed=seed
+) -> Scenario:
+    """The arrival-burst disturbance as a declarative scenario."""
+    return Scenario(
+        workload=_source(seed, params, workload),
+        combo=combo_label,
+        duration=duration,
+        seed=seed,
+        disturbances=(Burst(time=burst_time, jobs=burst_jobs),),
+        label="arrival_burst",
+    )
+
+
+def build_slowdown_scenario(
+    duration: float = 60.0,
+    slowdown_time: float = 20.0,
+    slow_factor: float = 0.25,
+    seed: int = 2008,
+    combo_label: str = "J_N_N",
+    params: Optional[RandomWorkloadParams] = None,
+    workload: Optional[Workload] = None,
+) -> Scenario:
+    """The processor-slowdown disturbance as a declarative scenario."""
+    return Scenario(
+        workload=_source(seed, params, workload),
+        combo=combo_label,
+        duration=duration,
+        seed=seed,
+        disturbances=(Slowdown(time=slowdown_time, factor=slow_factor),),
+        label="processor_slowdown",
+    )
+
+
+def _to_disturbance_result(
+    run: RunResult, scenario: str, detail: Dict[str, float]
+) -> DisturbanceResult:
+    return DisturbanceResult(
+        scenario=scenario,
+        accepted_utilization_ratio=run.accepted_utilization_ratio,
+        deadline_misses=run.deadline_misses,
+        released_jobs=run.released_jobs,
+        rejected_jobs=run.rejected_jobs,
+        detail=detail,
     )
 
 
@@ -72,21 +134,17 @@ def run_burst_scenario(
     every released job still meets its deadline — overload does not turn
     into missed deadlines, it turns into rejections.
     """
-    system = _base_system(seed, combo_label)
-    workload = system.workload
-    alert = workload.aperiodic_tasks[0]
-    base_index = 100_000  # clear of the generated arrival plan's indices
-    for i in range(burst_jobs):
-        arrival = burst_time + i * 1e-3
-        system.sim.schedule_at(arrival, system._arrive, alert, base_index + i, arrival)
-    results = system.run(duration)
-    return DisturbanceResult(
-        scenario="arrival_burst",
-        accepted_utilization_ratio=results.accepted_utilization_ratio,
-        deadline_misses=results.deadline_misses,
-        released_jobs=results.metrics.released_jobs,
-        rejected_jobs=results.metrics.rejected_jobs,
-        detail={"burst_jobs": float(burst_jobs)},
+    scenario = build_burst_scenario(
+        duration=duration,
+        burst_time=burst_time,
+        burst_jobs=burst_jobs,
+        seed=seed,
+        combo_label=combo_label,
+    )
+    return _to_disturbance_result(
+        Session(scenario).run(),
+        "arrival_burst",
+        {"burst_jobs": float(burst_jobs)},
     )
 
 
@@ -104,19 +162,57 @@ def run_slowdown_scenario(
     admitted jobs start missing deadlines — the failure mode the paper's
     model explicitly excludes.
     """
-    system = _base_system(seed, combo_label)
-
-    def throttle() -> None:
-        for node in system.workload.app_nodes:
-            system.processors[node].set_speed(slow_factor)
-
-    system.sim.schedule_at(slowdown_time, throttle)
-    results = system.run(duration)
-    return DisturbanceResult(
-        scenario="processor_slowdown",
-        accepted_utilization_ratio=results.accepted_utilization_ratio,
-        deadline_misses=results.deadline_misses,
-        released_jobs=results.metrics.released_jobs,
-        rejected_jobs=results.metrics.rejected_jobs,
-        detail={"slow_factor": slow_factor},
+    scenario = build_slowdown_scenario(
+        duration=duration,
+        slowdown_time=slowdown_time,
+        slow_factor=slow_factor,
+        seed=seed,
+        combo_label=combo_label,
     )
+    return _to_disturbance_result(
+        Session(scenario).run(),
+        "processor_slowdown",
+        {"slow_factor": slow_factor},
+    )
+
+
+def build_disturbance_suite(
+    duration: float = 60.0,
+    seed: int = 2008,
+    burst_jobs: int = 30,
+    slow_factor: float = 0.25,
+) -> ExperimentSuite:
+    """Both disturbance probes as one declarative suite."""
+    return ExperimentSuite(
+        name="disturbance",
+        cells=(
+            build_burst_scenario(
+                duration=duration, seed=seed, burst_jobs=burst_jobs
+            ),
+            build_slowdown_scenario(
+                duration=duration, seed=seed, slow_factor=slow_factor
+            ),
+        ),
+    )
+
+
+def run_disturbance_suite(
+    duration: float = 60.0,
+    seed: int = 2008,
+    burst_jobs: int = 30,
+    slow_factor: float = 0.25,
+    n_workers: Optional[int] = None,
+) -> List[DisturbanceResult]:
+    """Run both disturbance probes through the parallel runner."""
+    suite = build_disturbance_suite(
+        duration=duration, seed=seed, burst_jobs=burst_jobs, slow_factor=slow_factor
+    )
+    burst_run, slowdown_run = suite.run_results(n_workers)
+    return [
+        _to_disturbance_result(
+            burst_run, "arrival_burst", {"burst_jobs": float(burst_jobs)}
+        ),
+        _to_disturbance_result(
+            slowdown_run, "processor_slowdown", {"slow_factor": slow_factor}
+        ),
+    ]

@@ -15,12 +15,12 @@ combination and compared them".
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Any, Dict, List, Optional, Sequence
 
+from repro.api.suite import ExperimentSuite, combo_grid, fold_combo_grid
 from repro.core.cost_model import CostModel
 from repro.core.strategies import StrategyCombo, valid_combinations
 from repro.experiments.report import bar_chart
-from repro.experiments.runner import run_combo_grid
 from repro.sim.rng import RngRegistry
 from repro.workloads.generator import RandomWorkloadParams, generate_random_workload
 from repro.workloads.model import Workload
@@ -58,6 +58,45 @@ class Figure5Result:
             ),
         )
 
+    def to_json(self) -> Dict[str, Any]:
+        return {
+            "experiment": "figure5",
+            "duration": self.duration,
+            "n_sets": self.n_sets,
+            "per_combo": dict(self.per_combo),
+            "per_combo_sets": {k: list(v) for k, v in self.per_combo_sets.items()},
+            "deadline_misses": self.deadline_misses,
+            "by_ir_strategy": self.by_ir_strategy(),
+        }
+
+
+def build_figure5_suite(
+    n_sets: int = 10,
+    duration: float = 60.0,
+    seed: int = 2008,
+    cost_model: Optional[CostModel] = None,
+    params: Optional[RandomWorkloadParams] = None,
+    combos: Optional[Sequence[StrategyCombo]] = None,
+    aperiodic_interarrival_factor: float = 2.0,
+    workloads: Optional[Sequence[Workload]] = None,
+) -> ExperimentSuite:
+    """The Figure 5 grid as a declarative :class:`ExperimentSuite`."""
+    combos = list(combos) if combos is not None else valid_combinations()
+    if workloads is None:
+        gen_rng = RngRegistry(seed).stream("task_sets")
+        workloads = [
+            generate_random_workload(gen_rng, params) for _ in range(n_sets)
+        ]
+    return combo_grid(
+        "figure5",
+        list(workloads),
+        combos,
+        seed,
+        duration,
+        cost_model,
+        aperiodic_interarrival_factor,
+    )
+
 
 def run_figure5(
     n_sets: int = 10,
@@ -80,24 +119,22 @@ def run_figure5(
     results are bit-identical to a serial run for every worker count.
     """
     combos = list(combos) if combos is not None else valid_combinations()
-    rngs = RngRegistry(seed)
-    if workloads is None:
-        gen_rng = rngs.stream("task_sets")
-        workloads = [
-            generate_random_workload(gen_rng, params) for _ in range(n_sets)
-        ]
-    else:
+    if workloads is not None:
         workloads = list(workloads)
         n_sets = len(workloads)
+    suite = build_figure5_suite(
+        n_sets=n_sets,
+        duration=duration,
+        seed=seed,
+        cost_model=cost_model,
+        params=params,
+        combos=combos,
+        aperiodic_interarrival_factor=aperiodic_interarrival_factor,
+        workloads=workloads,
+    )
     result = Figure5Result(duration=duration, n_sets=n_sets)
-    result.per_combo_sets, result.deadline_misses = run_combo_grid(
-        workloads,
-        combos,
-        seed,
-        duration,
-        cost_model,
-        aperiodic_interarrival_factor,
-        n_workers,
+    result.per_combo_sets, result.deadline_misses = fold_combo_grid(
+        suite.run_results(n_workers), combos, n_sets
     )
     for label, ratios in result.per_combo_sets.items():
         result.per_combo[label] = sum(ratios) / len(ratios)

@@ -13,11 +13,12 @@ components stays below 2 ms.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
+from repro.api.scenario import Scenario, WorkloadSource
+from repro.api.suite import ExperimentSuite
 from repro.core.cost_model import CostModel
 from repro.experiments.report import format_table
-from repro.experiments.runner import overhead_cell, run_cells
 from repro.metrics.overhead import (
     ALL_ROWS,
     OverheadAccounting,
@@ -51,6 +52,23 @@ class Figure8Result:
         ]
         return max(paths) if paths else 0.0
 
+    def to_json(self) -> Dict[str, Any]:
+        return {
+            "experiment": "figure8",
+            "duration": self.duration,
+            "max_service_delay_usec": self.max_service_delay_usec(),
+            "rows": [
+                {
+                    "name": row.name,
+                    "mean_usec": row.mean_usec,
+                    "max_usec": row.max_usec,
+                    "samples": row.samples,
+                    "paper_mean_max_usec": PAPER_FIGURE8_USEC.get(row.name),
+                }
+                for row in self.rows
+            ],
+        }
+
     def format(self) -> str:
         table_rows = []
         for row in self.rows:
@@ -79,6 +97,32 @@ def _default_params() -> RandomWorkloadParams:
     )
 
 
+def build_figure8_suite(
+    duration: float = 300.0,
+    seed: int = 2008,
+    cost_model: Optional[CostModel] = None,
+    params: Optional[RandomWorkloadParams] = None,
+    aperiodic_interarrival_factor: float = 2.0,
+) -> ExperimentSuite:
+    """The two Figure 8 configuration runs as a declarative suite."""
+    params = params or _default_params()
+    gen_rng = RngRegistry(seed).stream("task_sets")
+    workload = generate_random_workload(gen_rng, params)
+    cells = tuple(
+        Scenario(
+            workload=WorkloadSource.explicit(workload),
+            combo=label,
+            duration=duration,
+            seed=seed,
+            cost_model=cost_model,
+            aperiodic_interarrival_factor=aperiodic_interarrival_factor,
+            label=f"figure8/{label}",
+        )
+        for label in ("J_J_N", "J_J_J")
+    )
+    return ExperimentSuite(name="figure8", cells=cells)
+
+
 def run_figure8(
     duration: float = 300.0,
     seed: int = 2008,
@@ -92,27 +136,25 @@ def run_figure8(
     ``duration`` defaults to the paper's 5-minute runs; tests pass
     something smaller.  The two configuration runs (no-LB for the "AC
     without LB" row, LB-per-job for the with-LB/re-allocation/IR rows)
-    are independent cells fanned out by the parallel runner; their sample
-    series merge in the fixed no-LB-then-LB order, so the result is
-    bit-identical to the serial path.
+    are independent scenario cells fanned out by the parallel runner;
+    their overhead snapshots merge in the fixed no-LB-then-LB order, so
+    the result is bit-identical to the serial path.
     """
-    params = params or _default_params()
-    rngs = RngRegistry(seed)
-    gen_rng = rngs.stream("task_sets")
-    workload = generate_random_workload(gen_rng, params)
+    suite = build_figure8_suite(
+        duration=duration,
+        seed=seed,
+        cost_model=cost_model,
+        params=params,
+        aperiodic_interarrival_factor=aperiodic_interarrival_factor,
+    )
+    outcomes = suite.run_results(n_workers)
     merged = OverheadAccounting()
-
-    cells = [
-        (workload, "J_J_N", seed, duration, cost_model, aperiodic_interarrival_factor),
-        (workload, "J_J_J", seed, duration, cost_model, aperiodic_interarrival_factor),
-    ]
-    outcomes = run_cells(overhead_cell, cells, n_workers)
-    for accounting, _delay_stats in outcomes:
+    for run in outcomes:
         for name in ALL_ROWS:
-            merged.series(name).merge(accounting.series(name))
+            merged.series(name).merge(run.overhead[name].to_series())
     # Communication-delay samples come from both networks.
-    for _accounting, delay_stats in outcomes:
-        merged.series("communication_delay").merge(delay_stats)
+    for run in outcomes:
+        merged.series("communication_delay").merge(run.comm_delay.to_series())
 
     result = Figure8Result(duration=duration, rows=merged.rows())
     return result

@@ -19,6 +19,16 @@ otherwise the ``REPRO_WORKERS`` environment variable, otherwise
 ``os.cpu_count()``.  ``n_workers=1`` (or a single cell) bypasses the pool
 entirely; pool start-up failures (sandboxes without semaphore support)
 fall back to the serial path, so the runner degrades instead of crashing.
+
+Since the ``repro.api`` redesign, experiments submit declarative
+:class:`~repro.api.scenario.Scenario` cells through
+:meth:`repro.api.suite.ExperimentSuite.run`, which dispatches to
+:func:`run_cells` here.  The legacy cell functions below
+(``middleware_cell``, ``overhead_cell``, ``replay_cell``,
+``table1_cell``) and :func:`run_combo_grid` are retained as the
+**pre-refactor reference path**: they construct systems directly, which
+is what the API parity tests compare scenario execution against.  New
+code should build scenarios instead.
 """
 
 from __future__ import annotations
@@ -98,11 +108,13 @@ def run_combo_grid(
 ):
     """Fan a (combo x task-set) grid out and fold it like the serial loops.
 
-    This is the shared shape of Figures 5 and 6: every combo runs every
-    workload with the serial per-cell seed ``seed + 1000 * set_index``,
-    and results fold in combo-major order.  Returns
-    ``(per_combo_sets, total_deadline_misses)`` where ``per_combo_sets``
-    maps each combo label to its per-set ratio list.
+    Deprecated: Figures 5 and 6 now build this grid declaratively via
+    :func:`repro.api.suite.combo_grid`; this function remains as the
+    direct-construction reference (bit-identical by the parity tests).
+    Every combo runs every workload with the serial per-cell seed
+    ``seed + 1000 * set_index``, and results fold in combo-major order.
+    Returns ``(per_combo_sets, total_deadline_misses)`` where
+    ``per_combo_sets`` maps each combo label to its per-set ratio list.
     """
     cells = [
         (

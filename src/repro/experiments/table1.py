@@ -43,6 +43,23 @@ CATEGORIES = (
 )
 
 
+def build_table1_suite():
+    """The Table 1 categories as a declarative mapping-cell suite."""
+    from repro.api.suite import ExperimentSuite, MappingCell
+
+    cells = tuple(
+        MappingCell(
+            category=name,
+            job_skipping=skipping,
+            replicated_components=replicated,
+            state_persistence=stateful,
+            overhead_tolerance=tolerance.value,
+        )
+        for name, skipping, replicated, stateful, tolerance in CATEGORIES
+    )
+    return ExperimentSuite(name="table1", cells=cells)
+
+
 def run_table1(n_workers: Optional[int] = 1) -> List[Table1Row]:
     """Map every example category through Table 1.
 
@@ -51,13 +68,23 @@ def run_table1(n_workers: Optional[int] = 1) -> List[Table1Row]:
     constant-time dataclass mappings, so the default stays serial —
     pool spin-up would dwarf the work; pass ``n_workers`` to fan out.
     """
-    from repro.experiments.runner import run_cells, table1_cell
+    return build_table1_suite().run(n_workers)
 
-    cells = [
-        (name, skipping, replicated, stateful, tolerance.value)
-        for name, skipping, replicated, stateful, tolerance in CATEGORIES
+
+def rows_to_json(rows: List[Table1Row]) -> List[dict]:
+    """Machine-readable Table 1 rows (for the CLI ``--json`` export)."""
+    return [
+        {
+            "category": r.category,
+            "job_skipping": r.characteristics.job_skipping,
+            "replicated_components": r.characteristics.replicated_components,
+            "state_persistence": r.characteristics.state_persistence,
+            "overhead_tolerance": r.characteristics.overhead_tolerance.value,
+            "combo": r.combo_label,
+            "notes": list(r.notes),
+        }
+        for r in rows
     ]
-    return run_cells(table1_cell, cells, n_workers)
 
 
 def format_rows(rows: List[Table1Row]) -> str:

@@ -27,6 +27,14 @@ class DelayModel(ABC):
         """The analytic mean of the distribution (for documentation/tests)."""
         raise NotImplementedError
 
+    # Delay models are value objects: scenarios embedding them compare
+    # (and serialize) by parameters, not identity.
+    def __eq__(self, other: object) -> bool:
+        return type(other) is type(self) and other.__dict__ == self.__dict__
+
+    def __hash__(self) -> int:
+        return hash((type(self).__name__, tuple(sorted(self.__dict__.items()))))
+
 
 class ConstantDelay(DelayModel):
     """Always the same delay."""

@@ -121,3 +121,20 @@ class AubReplayPolicy(AdmissionPolicy):
             self.ledger.remove(node, (task.task_id, job.index, subtask.index), now)
         self.analyzer.unregister(job.key)
         self.analyzer.prune(now)
+
+
+def jobs_from_plan(workload, plan) -> List[Job]:
+    """Materialize an :class:`~repro.workloads.arrivals.ArrivalPlan` into
+    home-assigned :class:`Job` objects ready for :func:`replay`."""
+    jobs: List[Job] = []
+    tasks = {t.task_id: t for t in workload.tasks}
+    for task_id, times in plan.times.items():
+        task = tasks[task_id]
+        arrival_node = task.subtasks[0].home
+        for index, t in enumerate(times):
+            job = Job(
+                task=task, index=index, arrival_time=t, arrival_node=arrival_node
+            )
+            job.assignment = task.home_assignment()
+            jobs.append(job)
+    return jobs

@@ -1,0 +1,264 @@
+"""Parity tests: scenario-based experiments == pre-refactor serial paths.
+
+Every experiment module now constructs its runs through ``repro.api``
+scenarios executed by the shared parallel runner.  These tests pin the
+refactor down: at fixed seeds the new path must produce **identical**
+outputs (exact float equality, not approx) to the direct-construction
+serial code it replaced — per figure, and for any worker count.
+
+The reference implementations are the legacy cell functions retained in
+:mod:`repro.experiments.runner` (``middleware_cell``, ``overhead_cell``,
+``replay_cell``) plus inline serial loops that mirror the old module
+bodies line for line.
+"""
+
+import pytest
+
+from repro.core.cost_model import CostModel
+from repro.core.middleware import MiddlewareSystem
+from repro.core.strategies import StrategyCombo, valid_combinations
+from repro.experiments.ablation import run_aub_vs_deferrable
+from repro.experiments.disturbance import (
+    run_burst_scenario,
+    run_disturbance_suite,
+    run_slowdown_scenario,
+)
+from repro.experiments.figure5 import run_figure5
+from repro.experiments.figure6 import run_figure6
+from repro.experiments.figure8 import run_figure8
+from repro.experiments.runner import (
+    middleware_cell,
+    overhead_cell,
+    replay_cell,
+    run_combo_grid,
+)
+from repro.experiments.sensitivity import (
+    sweep_load,
+    sweep_network_delay,
+    sweep_overhead,
+)
+from repro.metrics.overhead import ALL_ROWS, OverheadAccounting
+from repro.net.latency import ConstantDelay
+from repro.sim.rng import RngRegistry
+from repro.workloads.generator import RandomWorkloadParams, generate_random_workload
+from repro.workloads.imbalanced import generate_imbalanced_workload
+
+SEED = 7
+DURATION = 20.0
+
+
+def _random_sets(seed, n, imbalanced=False):
+    gen = RngRegistry(seed).stream("task_sets")
+    generate = generate_imbalanced_workload if imbalanced else (
+        generate_random_workload
+    )
+    return [generate(gen) for _ in range(n)]
+
+
+class TestFigure5Parity:
+    def test_identical_to_serial_reference(self):
+        combos = [StrategyCombo.from_label(l) for l in ("T_N_N", "J_T_J", "J_J_J")]
+        workloads = _random_sets(SEED, 2)
+        ref_sets, ref_misses = run_combo_grid(
+            workloads, combos, SEED, DURATION, None, 2.0, n_workers=1
+        )
+        result = run_figure5(
+            duration=DURATION,
+            seed=SEED,
+            combos=combos,
+            workloads=workloads,
+            n_workers=2,
+        )
+        assert result.per_combo_sets == ref_sets
+        assert result.deadline_misses == ref_misses
+
+
+class TestFigure6Parity:
+    def test_identical_to_serial_reference(self):
+        combos = [StrategyCombo.from_label(l) for l in ("J_J_N", "J_J_T")]
+        workloads = _random_sets(SEED, 2, imbalanced=True)
+        ref_sets, ref_misses = run_combo_grid(
+            workloads, combos, SEED, DURATION, None, 2.0, n_workers=1
+        )
+        result = run_figure6(
+            duration=DURATION,
+            seed=SEED,
+            combos=combos,
+            workloads=workloads,
+            n_workers=2,
+        )
+        assert result.per_combo_sets == ref_sets
+        assert result.deadline_misses == ref_misses
+
+
+class TestFigure8Parity:
+    def test_identical_to_serial_reference(self):
+        # The old module body, line for line: two overhead cells merged
+        # in fixed no-LB-then-LB order.
+        params = RandomWorkloadParams(n_processors=3, min_subtasks=1, max_subtasks=3)
+        gen = RngRegistry(SEED).stream("task_sets")
+        workload = generate_random_workload(gen, params)
+        merged = OverheadAccounting()
+        outcomes = [
+            overhead_cell(workload, label, SEED, DURATION, None, 2.0)
+            for label in ("J_J_N", "J_J_J")
+        ]
+        for accounting, _stats in outcomes:
+            for name in ALL_ROWS:
+                merged.series(name).merge(accounting.series(name))
+        for _accounting, stats in outcomes:
+            merged.series("communication_delay").merge(stats)
+
+        result = run_figure8(duration=DURATION, seed=SEED, n_workers=2)
+        assert [r.as_tuple() for r in result.rows] == [
+            r.as_tuple() for r in merged.rows()
+        ]
+
+
+class TestAblationParity:
+    def test_identical_to_serial_reference(self):
+        workloads = _random_sets(11, 3)
+        reference = [
+            replay_cell(w, i, 11, 40.0, 2.0, 0.3, 0.1)
+            for i, w in enumerate(workloads)
+        ]
+        result = run_aub_vs_deferrable(
+            n_sets=3, duration=40.0, seed=11, n_workers=3
+        )
+        assert result.aub_ratios == [r[0] for r in reference]
+        assert result.ds_ratios == [r[1] for r in reference]
+
+
+class TestSensitivityParity:
+    """The ROADMAP item: sensitivity cells through the parallel runner
+    with per-cell deterministic seeds, bit-identical for any workers."""
+
+    def test_load_sweep_identical_to_direct_loop(self):
+        factors = (4.0, 1.0)
+        workload = generate_random_workload(RngRegistry(3).stream("wl"))
+        combo = StrategyCombo.from_label("J_J_J")
+        reference = []
+        for factor in factors:
+            system = MiddlewareSystem(
+                workload, combo, seed=3, aperiodic_interarrival_factor=factor
+            )
+            reference.append(
+                (factor, system.run(DURATION).accepted_utilization_ratio)
+            )
+        for workers in (1, 2):
+            result = sweep_load(
+                factors=factors, duration=DURATION, seed=3, n_workers=workers
+            )
+            assert result.points == reference
+
+    def test_overhead_sweep_identical_to_direct_loop(self):
+        scales = (0.0, 10.0)
+        workload = generate_random_workload(RngRegistry(3).stream("wl"))
+        combo = StrategyCombo.from_label("J_J_J")
+        reference = []
+        for scale in scales:
+            cost = CostModel.zero() if scale == 0 else CostModel().scaled(scale)
+            system = MiddlewareSystem(workload, combo, cost_model=cost, seed=3)
+            reference.append(
+                (scale, system.run(DURATION).accepted_utilization_ratio)
+            )
+        for workers in (1, 2):
+            result = sweep_overhead(
+                scales=scales, duration=DURATION, seed=3, n_workers=workers
+            )
+            assert result.points == reference
+
+    def test_delay_sweep_identical_to_direct_loop(self):
+        delays = (0.001, 0.05)
+        workload = generate_random_workload(RngRegistry(3).stream("wl"))
+        combo = StrategyCombo.from_label("J_J_J")
+        reference = []
+        for delay in delays:
+            system = MiddlewareSystem(
+                workload, combo, seed=3, delay_model=ConstantDelay(delay)
+            )
+            run = system.run(DURATION)
+            reference.append(
+                (
+                    run.accepted_utilization_ratio,
+                    run.metrics.latency.response_times.mean,
+                    run.metrics.latency.deadline_misses,
+                )
+            )
+        for workers in (1, 2):
+            points = sweep_network_delay(
+                delays=delays, duration=DURATION, seed=3, n_workers=workers
+            )
+            assert [
+                (p.accepted_utilization_ratio, p.mean_response, p.deadline_misses)
+                for p in points
+            ] == reference
+
+
+class TestDisturbanceParity:
+    """The other half of the ROADMAP item: disturbance scenarios through
+    the parallel runner, identical for any worker count."""
+
+    def test_suite_matches_single_runs(self):
+        singles = [
+            run_burst_scenario(duration=30.0, seed=3).to_json(),
+            run_slowdown_scenario(duration=30.0, seed=3).to_json(),
+        ]
+        for workers in (1, 2):
+            suite = run_disturbance_suite(
+                duration=30.0, seed=3, n_workers=workers
+            )
+            assert [r.to_json() for r in suite] == singles
+
+    def test_burst_matches_direct_construction(self):
+        # The old run_burst_scenario body, inline.
+        workload = generate_random_workload(RngRegistry(3).stream("wl"))
+        system = MiddlewareSystem(
+            workload, StrategyCombo.from_label("J_J_N"), seed=3
+        )
+        alert = workload.aperiodic_tasks[0]
+        for i in range(25):
+            arrival = 10.0 + i * 1e-3
+            system.sim.schedule_at(
+                arrival, system._arrive, alert, 100_000 + i, arrival
+            )
+        reference = system.run(30.0)
+
+        result = run_burst_scenario(
+            duration=30.0, burst_time=10.0, burst_jobs=25, seed=3
+        )
+        assert result.accepted_utilization_ratio == (
+            reference.metrics.accepted_utilization_ratio
+        )
+        assert result.deadline_misses == reference.metrics.latency.deadline_misses
+        assert result.released_jobs == reference.metrics.released_jobs
+        assert result.rejected_jobs == reference.metrics.rejected_jobs
+
+    def test_slowdown_matches_direct_construction(self):
+        workload = generate_random_workload(RngRegistry(3).stream("wl"))
+        system = MiddlewareSystem(
+            workload, StrategyCombo.from_label("J_N_N"), seed=3
+        )
+
+        def throttle():
+            for node in workload.app_nodes:
+                system.processors[node].set_speed(0.2)
+
+        system.sim.schedule_at(10.0, throttle)
+        reference = system.run(30.0)
+
+        result = run_slowdown_scenario(
+            duration=30.0, slowdown_time=10.0, slow_factor=0.2, seed=3
+        )
+        assert result.accepted_utilization_ratio == (
+            reference.metrics.accepted_utilization_ratio
+        )
+        assert result.deadline_misses == reference.metrics.latency.deadline_misses
+
+
+class TestFullGridWorkerInvariance:
+    def test_figure5_all_combos_worker_invariant(self):
+        a = run_figure5(n_sets=1, duration=10.0, seed=5, n_workers=1)
+        b = run_figure5(n_sets=1, duration=10.0, seed=5, n_workers=4)
+        assert a.per_combo_sets == b.per_combo_sets
+        assert len(a.per_combo) == len(valid_combinations())
