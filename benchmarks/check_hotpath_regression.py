@@ -1,0 +1,118 @@
+"""Fail when hot-path throughput regresses against a committed baseline.
+
+Compares a freshly measured ``BENCH_hotpath.json`` with the baseline
+committed at the repo root (saved aside before the benchmark overwrote
+it).  A metric fails when it falls more than ``--tolerance`` (default
+30%) below the baseline; metrics absent from either file — e.g. scales
+dropped by ``REPRO_BENCH_HOTPATH_SCALES`` on the reduced CI grid, or
+sections a newer benchmark added — are skipped, so the gate works on any
+grid subset.
+
+``--normalize`` divides every admission/ledger throughput by its own
+file's kernel event rate before comparing.  The kernel benchmark is pure
+interpreter + heap work that none of this repo's hot-path changes
+target, so it serves as a machine-speed proxy: normalization cancels the
+difference between the committing machine and the CI runner, leaving the
+gate sensitive to *relative* hot-path regressions only.  Without the
+flag the comparison is absolute (right for same-machine A/B runs).
+
+Usage::
+
+    python benchmarks/check_hotpath_regression.py BASELINE.json FRESH.json \
+        [--tolerance 0.30] [--normalize]
+
+Exit status 1 on regression, with a per-metric report either way.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Dict, Iterator, Tuple
+
+
+def throughput_metrics(data: dict) -> Iterator[Tuple[str, float]]:
+    """The gated metrics: every strictly higher-is-better rate."""
+    yield "kernel_events_per_sec", data.get("kernel_events_per_sec")
+    for scale, row in sorted(data.get("admission", {}).items(), key=lambda kv: int(kv[0])):
+        yield f"admission[{scale}].incremental_tests_per_sec", row.get(
+            "incremental_tests_per_sec"
+        )
+    for scale, row in sorted(
+        data.get("admission_batch", {}).items(), key=lambda kv: int(kv[0])
+    ):
+        yield f"admission_batch[{scale}].batch_tests_per_sec", row.get(
+            "batch_tests_per_sec"
+        )
+    ledger = data.get("ledger_sharded", {})
+    yield "ledger_sharded.batch_ops_per_sec", ledger.get("batch_ops_per_sec")
+
+
+def compare(
+    baseline: dict, fresh: dict, tolerance: float, normalize: bool = False
+) -> int:
+    base_scale = fresh_scale = 1.0
+    if normalize:
+        base_scale = baseline.get("kernel_events_per_sec") or 1.0
+        fresh_scale = fresh.get("kernel_events_per_sec") or 1.0
+        print(
+            f"normalizing by kernel rate: baseline {base_scale:,.0f} ev/s, "
+            f"fresh {fresh_scale:,.0f} ev/s"
+        )
+    base_metrics: Dict[str, float] = {
+        name: value
+        for name, value in throughput_metrics(baseline)
+        if value is not None
+    }
+    failures = 0
+    checked = 0
+    for name, value in throughput_metrics(fresh):
+        reference = base_metrics.get(name)
+        if value is None or reference is None or reference <= 0:
+            continue
+        if normalize and name == "kernel_events_per_sec":
+            # The normalizer itself cannot gate its own comparison.
+            continue
+        checked += 1
+        ratio = (value / fresh_scale) / (reference / base_scale)
+        status = "ok"
+        if ratio < 1.0 - tolerance:
+            status = "REGRESSION"
+            failures += 1
+        print(
+            f"  {name:<48} {reference:>14,.0f} -> {value:>14,.0f} "
+            f"({ratio:>6.2f}x)  {status}"
+        )
+    if checked == 0:
+        print("no comparable metrics between baseline and fresh run")
+        return 1
+    if failures:
+        print(
+            f"{failures} metric(s) regressed more than "
+            f"{tolerance:.0%} against the committed baseline"
+        )
+        return 1
+    print(f"all {checked} comparable metrics within {tolerance:.0%} of baseline")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline", type=Path)
+    parser.add_argument("fresh", type=Path)
+    parser.add_argument("--tolerance", type=float, default=0.30)
+    parser.add_argument(
+        "--normalize", action="store_true",
+        help="divide throughputs by each file's kernel rate (cross-machine "
+        "comparisons, e.g. committed baseline vs CI runner)",
+    )
+    args = parser.parse_args(argv)
+    baseline = json.loads(args.baseline.read_text())
+    fresh = json.loads(args.fresh.read_text())
+    return compare(baseline, fresh, args.tolerance, args.normalize)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

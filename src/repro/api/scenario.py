@@ -466,6 +466,10 @@ class Scenario:
     delay_model: Optional[DelayModel] = None
     aperiodic_interarrival_factor: float = 2.0
     arrival_stream: str = "arrivals"
+    #: Batched hot path: deliver simultaneous arrivals as kernel batches
+    #: and let the admission layer drain its arrival queue through one
+    #: admissible_batch call per burst (Burst disturbances exercise it).
+    arrival_batching: bool = False
     disturbances: Tuple[Disturbance, ...] = ()
     trace: bool = False
     drain: bool = True
@@ -524,6 +528,11 @@ class Scenario:
                 raise ConfigurationError(
                     "replay scenarios are overhead-free: cost/delay models "
                     "conflict with the replay engine"
+                )
+            if self.arrival_batching:
+                raise ConfigurationError(
+                    "replay scenarios have no admission controller: "
+                    "arrival_batching conflicts with the replay engine"
                 )
         else:
             if self.policy is not None or self.policy_params:
@@ -621,6 +630,8 @@ class Scenario:
             data["policy"] = self.policy
         if self.policy_params:
             data["policy_params"] = dict(self.policy_params)
+        if self.arrival_batching:
+            data["arrival_batching"] = True
         if self.cost_model is not None:
             data["cost_model"] = cost_model_to_json(self.cost_model)
         if self.delay_model is not None:
@@ -655,6 +666,7 @@ class Scenario:
             "policy",
             "aperiodic_interarrival_factor",
             "arrival_stream",
+            "arrival_batching",
             "trace",
             "drain",
             "label",
@@ -766,6 +778,9 @@ class ScenarioBuilder:
 
     def arrival_stream(self, name: str) -> "ScenarioBuilder":
         return self._set("arrival_stream", name)
+
+    def arrival_batching(self, enabled: bool = True) -> "ScenarioBuilder":
+        return self._set("arrival_batching", enabled)
 
     def trace(self, enabled: bool = True) -> "ScenarioBuilder":
         return self._set("trace", enabled)

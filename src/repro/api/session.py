@@ -259,6 +259,7 @@ class Session:
                 aperiodic_interarrival_factor=(
                     scenario.aperiodic_interarrival_factor
                 ),
+                arrival_batching=scenario.arrival_batching,
             )
             return self._system
         if self.via_dance:
@@ -278,6 +279,7 @@ class Session:
                 aperiodic_interarrival_factor=(
                     scenario.aperiodic_interarrival_factor
                 ),
+                arrival_batching=scenario.arrival_batching,
             )
         self._apply_disturbances(self._system)
         return self._system
@@ -328,11 +330,22 @@ class Session:
     @classmethod
     def _schedule_burst(cls, system, burst: Burst) -> None:
         task = cls._resolve_burst_task(system, burst)
+        batched = getattr(system, "arrival_batching", False)
         for i in range(burst.jobs):
             arrival = burst.time + i * burst.spacing
-            system.sim.schedule_at(
-                arrival, system._arrive, task, burst.base_index + i, arrival
-            )
+            if batched:
+                # Burst jobs ride the batched delivery path, so arrivals
+                # that land on the same timestamp (or pile up behind the
+                # AC's dispatch thread) are admitted as one burst.
+                system.sim.schedule_batch(
+                    arrival,
+                    system._arrive_batch,
+                    (task, burst.base_index + i, arrival),
+                )
+            else:
+                system.sim.schedule_at(
+                    arrival, system._arrive, task, burst.base_index + i, arrival
+                )
 
     @staticmethod
     def _schedule_slowdown(system, slowdown: Slowdown) -> None:

@@ -83,13 +83,16 @@ class TriggerEvent:
 class IdleResettingEvent:
     """Completed-subjob contributions that can be reset on the AC side.
 
-    ``entries`` is a tuple of ledger keys ``(task_id, job_index,
-    subtask_index, node)`` identifying contributions whose deadline has not
-    yet expired.
+    One event carries **one processor idle period's whole reclaim batch**:
+    ``node`` is the idle processor and ``entries`` the ledger keys
+    ``(task_id, job_index, subtask_index)`` of contributions on it whose
+    deadline has not yet expired.  The AC applies the batch with a single
+    ledger ``remove_batch`` — one AUB cache refresh per idle period
+    instead of one per subjob.
     """
 
     node: str
-    entries: Tuple[Tuple[str, int, int, str], ...]
+    entries: Tuple[Tuple[str, int, int], ...]
 
 
 def trigger_topic(task_id: str, next_index: int) -> str:

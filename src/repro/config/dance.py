@@ -181,6 +181,7 @@ class DeploymentEngine:
         trace: bool = False,
         delay_model: Optional[DelayModel] = None,
         aperiodic_interarrival_factor: float = 2.0,
+        arrival_batching: bool = False,
     ) -> MiddlewareSystem:
         """Validate and deploy ``plan``; returns a ready-to-run system.
 
@@ -200,6 +201,7 @@ class DeploymentEngine:
             delay_model=delay_model,
             aperiodic_interarrival_factor=aperiodic_interarrival_factor,
             auto_deploy=False,
+            arrival_batching=arrival_batching,
         )
         repository = default_repository(system.env)
         manager = ExecutionManager(repository)
@@ -207,6 +209,10 @@ class DeploymentEngine:
         manager.establish_connections(plan)
         ac = manager.component("Central-AC")
         assert isinstance(ac, AdmissionControllerComponent)
+        if arrival_batching:
+            # The plan format predates batching; the knob rides in from
+            # the scenario rather than the descriptor.
+            ac.set_attribute("batching", True)
         system.ac = ac
         try:
             lb = manager.component("Central-LB")
@@ -244,4 +250,5 @@ class DeploymentEngine:
             trace=scenario.trace,
             delay_model=scenario.delay_model,
             aperiodic_interarrival_factor=scenario.aperiodic_interarrival_factor,
+            arrival_batching=scenario.arrival_batching,
         )

@@ -20,6 +20,19 @@ Strategy semantics (paper section 4.2):
 
 Admission work executes on a dispatch thread of the task-manager CPU, so
 concurrent arrivals serialize and queueing delay is measured honestly.
+
+**Burst batching** (the ``batching`` attribute, driven by a scenario's
+``arrival_batching`` flag): instead of deciding one arrival per dispatch
+work item, incoming "Task Arrive" events accumulate in an arrival queue
+and the first work item to run drains the whole queue through
+:meth:`~repro.sched.aub.AubAnalyzer.admissible_batch` — one prune, one
+cache refresh, shared hypothetical totals, and a single ledger
+``add_batch`` commit for every accepted arrival in the burst.  Each
+arrival still pays its own sampled admission cost on the dispatch thread
+(CPU accounting is unchanged); what batching amortizes is the analyzer
+bookkeeping and the decision latency of arrivals queued behind the first.
+Load-balanced configurations fall back to per-arrival decisions because
+an LB placement must observe the commits of the arrivals ahead of it.
 """
 
 from __future__ import annotations
@@ -49,7 +62,12 @@ from repro.core.strategies import (
 )
 from repro.cpu.thread import WorkItem
 from repro.errors import ComponentError
-from repro.sched.aub import RESERVED, AubAnalyzer, SyntheticUtilizationLedger
+from repro.sched.aub import (
+    RESERVED,
+    AubAnalyzer,
+    BatchCandidate,
+    SyntheticUtilizationLedger,
+)
 from repro.sched.task import Job, TaskSpec
 
 
@@ -96,6 +114,12 @@ class AdmissionControllerComponent(Component):
             validator=lambda v: v in ("N", "T", "J"),
             doc="No-LB/LB-per-task/LB-per-job (the paper's AC attribute).",
         ),
+        "batching": AttributeSpec(
+            bool,
+            default=False,
+            doc="Drain simultaneous arrivals into one batched admission "
+            "test (admissible_batch) instead of deciding per event.",
+        ),
     }
 
     def __init__(self, name: str, env: RuntimeEnv) -> None:
@@ -107,9 +131,13 @@ class AdmissionControllerComponent(Component):
         self._source: Optional[EventSourcePort] = None
         self._locator = Receptacle(self, "locator")
         self._thread = None
+        #: Arrivals awaiting a batched decision (batching enabled only).
+        self._arrival_queue: List[TaskArriveEvent] = []
         self.admitted_jobs = 0
         self.rejected_jobs = 0
         self.idle_resets_applied = 0
+        self.batch_calls = 0
+        self.batched_arrivals = 0
 
     # ------------------------------------------------------------------
     # Strategy accessors
@@ -178,20 +206,44 @@ class AdmissionControllerComponent(Component):
     def _on_task_arrive(self, event: TaskArriveEvent) -> None:
         op = OP_LB_PLAN if self.lb_enabled else OP_ADMISSION_TEST
         cost = self.env.cost_model.sample(op, self.env.cost_rng)
+        if self.get_attribute("batching"):
+            # Queue the arrival; the work item that completes first drains
+            # the whole queue in one batched decision pass, later ones
+            # find it empty.  Every arrival still charges its own sampled
+            # admission cost to the dispatch thread.
+            self._arrival_queue.append(event)
+            self.processor.submit(
+                self._thread,
+                WorkItem(cost, self._drain_arrivals, label="admit:batch"),
+            )
+            return
         self.processor.submit(
             self._thread,
             WorkItem(cost, self._decide, event, label=f"admit:{event.job.task.task_id}"),
         )
 
     def _decide(self, event: TaskArriveEvent) -> None:
+        now = self.sim.now
+        triage = self._triage(event, now)
+        if triage is None:
+            return
+        record, per_task_ac = triage
+        self._admit_fresh(event, record, per_task_ac, now)
+
+    def _triage(
+        self, event: TaskArriveEvent, now: float
+    ) -> Optional[Tuple[TaskRecord, bool]]:
+        """Shared per-arrival triage for the sequential and batched paths:
+        deadline expiry, record bookkeeping, and the per-task cached
+        decision.  Returns ``None`` when the event was fully handled,
+        else ``(record, per_task_ac)`` for a fresh admission test."""
         job = event.job
         task = job.task
-        now = self.sim.now
         if job.absolute_deadline <= now:
             # Queueing at the AC (or a stale event) consumed the job's
             # whole window; releasing it could not meet the deadline.
             self._send_reject(event, "deadline expired before admission")
-            return
+            return None
         record = self._records.setdefault(task.task_id, TaskRecord())
         record.jobs_seen += 1
         per_task_ac = self.get_attribute("ac_strategy") == "T" and task.is_periodic
@@ -200,12 +252,23 @@ class AdmissionControllerComponent(Component):
             # balancing may still relocate the reserved assignment.
             if not record.admitted:
                 self._send_reject(event, "task rejected at first arrival")
-                return
+                return None
             if self.get_attribute("lb_strategy") == "J":
                 self._try_relocate_reserved(task, record)
             self._send_accept(event, record.assignment)
-            return
+            return None
+        return record, per_task_ac
 
+    def _admit_fresh(
+        self,
+        event: TaskArriveEvent,
+        record: TaskRecord,
+        per_task_ac: bool,
+        now: float,
+    ) -> None:
+        """Propose an assignment, run the admission test, publish."""
+        job = event.job
+        task = job.task
         assignment = self._propose_assignment(job, record, now)
         if assignment is None:
             admitted = False
@@ -223,6 +286,119 @@ class AdmissionControllerComponent(Component):
             self._send_accept(event, assignment)
         else:
             self._send_reject(event, "AUB condition (1) would be violated")
+
+    # ------------------------------------------------------------------
+    # Batched arrival handling
+    # ------------------------------------------------------------------
+    def _drain_arrivals(self, _payload=None) -> None:
+        """Decide every queued arrival in one batched admission pass."""
+        events = self._arrival_queue
+        if not events:
+            return
+        self._arrival_queue = []
+        self.batch_calls += 1
+        self.batched_arrivals += len(events)
+        now = self.sim.now
+        pending: List[Tuple[TaskArriveEvent, TaskRecord, bool]] = []
+        #: Periodic tasks whose first (reserving) job is in ``pending``.
+        reserving: set = set()
+        deferred: List[TaskArriveEvent] = []
+        for event in events:
+            task = event.job.task
+            if task.task_id in reserving:
+                # A later job of a periodic task whose first job is being
+                # decided in this very batch (AC per task): its outcome is
+                # that first job's cached decision, which exists only
+                # after the batch commits — defer, exactly as the
+                # sequential path would have found the cache populated.
+                deferred.append(event)
+                continue
+            triage = self._triage(event, now)
+            if triage is None:
+                continue
+            record, per_task_ac = triage
+            if self.lb_enabled:
+                # An LB placement must see the commits of the arrivals
+                # decided ahead of it, so these stay sequential.
+                self._admit_fresh(event, record, per_task_ac, now)
+                continue
+            if per_task_ac:
+                reserving.add(task.task_id)
+            pending.append((event, record, per_task_ac))
+        if pending:
+            self._admit_batch(pending, now)
+        for event in deferred:
+            # The batch populated the per-task cache, so this re-enters
+            # the normal sequential flow as a cache hit (or, if the first
+            # job expired before deciding, as a fresh admission — the
+            # same state the sequential path would see).
+            self._decide(event)
+
+    def _admit_batch(
+        self,
+        pending: List[Tuple[TaskArriveEvent, TaskRecord, bool]],
+        now: float,
+    ) -> None:
+        """Home-assignment burst admission through ``admissible_batch``."""
+        candidates: List[BatchCandidate] = []
+        assignments: List[Dict[int, str]] = []
+        for event, _record, _per_task_ac in pending:
+            task = event.job.task
+            assignment = task.home_assignment()
+            assignments.append(assignment)
+            candidates.append(
+                BatchCandidate(
+                    task.visited_processors(assignment),
+                    [
+                        (assignment[s.index], task.subtask_utilization(s.index))
+                        for s in task.subtasks
+                    ],
+                )
+            )
+        decisions = self.analyzer.admissible_batch(candidates, now)
+        # One ledger commit for the whole burst: stage contributions in
+        # candidate order (bit-identical floats to per-arrival commits),
+        # one change notification per touched node.
+        add_entries = []
+        for (event, record, per_task_ac), assignment, admitted in zip(
+            pending, assignments, decisions
+        ):
+            job = event.job
+            task = job.task
+            if admitted:
+                job_index = RESERVED if per_task_ac else job.index
+                for subtask in task.subtasks:
+                    add_entries.append(
+                        (
+                            assignment[subtask.index],
+                            (task.task_id, job_index, subtask.index),
+                            task.subtask_utilization(subtask.index),
+                        )
+                    )
+        if add_entries:
+            self.ledger.add_batch(add_entries, now)
+        for (event, record, per_task_ac), assignment, admitted in zip(
+            pending, assignments, decisions
+        ):
+            job = event.job
+            task = job.task
+            if per_task_ac:
+                record.admitted = admitted
+                record.assignment = assignment if admitted else None
+            if not admitted:
+                self._send_reject(event, "AUB condition (1) would be violated")
+                continue
+            job_index = RESERVED if per_task_ac else job.index
+            registry_key = (task.task_id, job_index)
+            expiry = None if per_task_ac else job.absolute_deadline
+            self.analyzer.register(
+                registry_key, task.visited_processors(assignment), expiry
+            )
+            if not per_task_ac:
+                self.sim.schedule_at(
+                    job.absolute_deadline, self._expire_job, job, assignment
+                )
+            self._send_accept(event, assignment)
 
     def _propose_assignment(
         self, job: Job, record: TaskRecord, now: float
@@ -365,12 +541,11 @@ class AdmissionControllerComponent(Component):
 
     def _apply_idle_reset(self, event: IdleResettingEvent) -> None:
         now = self.sim.now
-        for task_id, job_index, subtask_index, node in event.entries:
-            removed = self.ledger.remove(
-                node, (task_id, job_index, subtask_index), now
-            )
-            if removed:
-                self.idle_resets_applied += 1
+        # One batch-remove per idle period: a single AUB cache refresh no
+        # matter how many subjobs the idle processor reclaimed.
+        self.idle_resets_applied += self.ledger.remove_batch(
+            ((event.node, key) for key in event.entries), now
+        )
         self.tracer.record(
             now, "ac.idle_reset", self.node, entries=len(event.entries)
         )

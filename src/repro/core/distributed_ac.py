@@ -117,6 +117,13 @@ class DistributedAdmissionControllerComponent(Component):
         "processor_id": AttributeSpec(
             str, required=True, doc="Application processor this AC guards."
         ),
+        "batching": AttributeSpec(
+            bool,
+            default=False,
+            doc="Drain queued simultaneous arrivals in one dispatch pass "
+            "(coordination rounds stay per-transaction: the two-phase "
+            "protocol votes on each reservation independently).",
+        ),
     }
 
     _txn_counter = itertools.count(1)
@@ -124,6 +131,8 @@ class DistributedAdmissionControllerComponent(Component):
     def __init__(self, name: str, env: RuntimeEnv) -> None:
         super().__init__(name)
         self.env = env
+        #: Arrivals awaiting a batched coordination pass (batching only).
+        self._arrival_queue: List[TaskArriveEvent] = []
         #: Live local contributions: job key -> utilization on this node.
         self._contribs: Dict[Tuple[str, int], float] = {}
         #: Pending phase-1 locks: txn -> utilization.
@@ -143,6 +152,8 @@ class DistributedAdmissionControllerComponent(Component):
         self.admitted_jobs = 0
         self.rejected_jobs = 0
         self.reserve_messages = 0
+        self.batch_calls = 0
+        self.batched_arrivals = 0
 
     # ------------------------------------------------------------------
     # Local utilization view
@@ -191,9 +202,28 @@ class DistributedAdmissionControllerComponent(Component):
     # ------------------------------------------------------------------
     def _on_task_arrive(self, event: TaskArriveEvent) -> None:
         cost = self.env.cost_model.sample(OP_ADMISSION_TEST, self.env.cost_rng)
+        if self.get_attribute("batching"):
+            # Queue the arrival; the first work item to complete drains
+            # every queued arrival in one pass (each still pays its own
+            # sampled admission cost on the dispatch thread).
+            self._arrival_queue.append(event)
+            self.processor.submit(
+                self._thread, WorkItem(cost, self._drain_arrivals)
+            )
+            return
         self.processor.submit(
             self._thread, WorkItem(cost, self._coordinate, event)
         )
+
+    def _drain_arrivals(self, _payload=None) -> None:
+        events = self._arrival_queue
+        if not events:
+            return
+        self._arrival_queue = []
+        self.batch_calls += 1
+        self.batched_arrivals += len(events)
+        for event in events:
+            self._coordinate(event)
 
     def _coordinate(self, event: TaskArriveEvent) -> None:
         job = event.job
@@ -367,7 +397,8 @@ class DistributedMiddlewareSystem:
     """
 
     def __init__(self, workload, seed: int = 0, cost_model=None,
-                 delay_model=None, aperiodic_interarrival_factor: float = 2.0):
+                 delay_model=None, aperiodic_interarrival_factor: float = 2.0,
+                 arrival_batching: bool = False):
         from repro.core.middleware import MiddlewareSystem
         from repro.core.strategies import StrategyCombo
 
@@ -399,7 +430,9 @@ class DistributedMiddlewareSystem:
         self.acs: Dict[str, DistributedAdmissionControllerComponent] = {}
         for node in workload.app_nodes:
             ac = DistributedAdmissionControllerComponent(f"DAC-{node}", env)
-            ac.set_configuration({"processor_id": node})
+            ac.set_configuration(
+                {"processor_id": node, "batching": arrival_batching}
+            )
             containers[node].install(ac)
             self.acs[node] = ac
         self._deploy_subtasks(workload, env, containers)

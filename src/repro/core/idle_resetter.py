@@ -17,6 +17,12 @@ Strategies (paper section 4.3):
 
 To avoid reporting repeatedly, a report is queued only when a newly
 completed subjob whose deadline has not expired is recorded.
+
+All completions recorded during one idle period travel in **one**
+:class:`~repro.ccm.events.IdleResettingEvent` (the report coalesces the
+whole pending set when the idle-detector thread finally runs), and the AC
+applies that event with one ledger ``remove_batch`` — so an idle period
+costs a single AUB cache refresh no matter how many subjobs it reclaims.
 """
 
 from __future__ import annotations
@@ -33,9 +39,10 @@ from repro.cpu.thread import WorkItem
 from repro.errors import ComponentError
 from repro.sched.task import Job
 
-#: Ledger entry key reported to the AC: (task_id, job_index, subtask_index,
-#: node).
-ReportEntry = Tuple[str, int, int, str]
+#: Ledger contribution key reported to the AC: (task_id, job_index,
+#: subtask_index).  The processor is carried once per report event, not
+#: per entry — every entry in a report belongs to the idle processor.
+ReportEntry = Tuple[str, int, int]
 
 
 class IdleResetterComponent(Component):
@@ -109,7 +116,7 @@ class IdleResetterComponent(Component):
         if job.absolute_deadline <= now:
             # The contribution is being removed by deadline expiry anyway.
             return
-        entry: ReportEntry = (job.task.task_id, job.index, subtask_index, self.node)
+        entry: ReportEntry = (job.task.task_id, job.index, subtask_index)
         self._pending[entry] = job.absolute_deadline
         self.completions_recorded += 1
         self._ensure_report_queued()

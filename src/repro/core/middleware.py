@@ -84,12 +84,17 @@ class MiddlewareSystem:
         delay_model: Optional[DelayModel] = None,
         aperiodic_interarrival_factor: float = 2.0,
         auto_deploy: bool = True,
+        arrival_batching: bool = False,
     ) -> None:
         combo.validate()
         self.workload = workload
         self.combo = combo
         self.cost_model = cost_model or CostModel()
         self.aperiodic_interarrival_factor = aperiodic_interarrival_factor
+        #: Batched hot path: simultaneous arrivals are delivered to the
+        #: task effectors as one kernel batch, and the AC drains its
+        #: arrival queue through admissible_batch.
+        self.arrival_batching = arrival_batching
         self.sim = Simulator()
         self.rngs = RngRegistry(seed)
         self.tracer = Tracer(enabled=trace)
@@ -141,6 +146,7 @@ class MiddlewareSystem:
                 "ac_strategy": self.combo.ac.value,
                 "ir_strategy": self.combo.ir.value,
                 "lb_strategy": self.combo.lb.value,
+                "batching": self.arrival_batching,
             }
         )
         manager.install(self.ac)
@@ -220,8 +226,24 @@ class MiddlewareSystem:
     # Execution
     # ------------------------------------------------------------------
     def schedule_arrivals(self, plan: ArrivalPlan) -> int:
-        """Schedule every arrival in ``plan``; returns the job count."""
+        """Schedule every arrival in ``plan``; returns the job count.
+
+        With ``arrival_batching`` the kernel coalesces same-timestamp
+        arrivals into one batched delivery, so a wave of simultaneous
+        releases reaches the task effectors (and, downstream, the AC's
+        batched admission queue) as a single burst.
+        """
         count = 0
+        if self.arrival_batching:
+            for arrival_time, task_id, job_index in plan.events():
+                task = self.env.tasks[task_id]
+                self.sim.schedule_batch(
+                    arrival_time,
+                    self._arrive_batch,
+                    (task, job_index, arrival_time),
+                )
+                count += 1
+            return count
         for arrival_time, task_id, job_index in plan.events():
             task = self.env.tasks[task_id]
             self.sim.schedule_at(
@@ -239,6 +261,12 @@ class MiddlewareSystem:
             arrival_node=arrival_node,
         )
         self.env.task_effectors[arrival_node].task_arrived(job)
+
+    def _arrive_batch(self, payloads) -> None:
+        """Batched kernel delivery: one call per burst of simultaneous
+        arrivals (payloads are ``(task, job_index, arrival_time)``)."""
+        for task, job_index, arrival_time in payloads:
+            self._arrive(task, job_index, arrival_time)
 
     def run(self, duration: float, drain: bool = True) -> SystemResults:
         """Generate arrivals over ``duration`` seconds and run the system.

@@ -20,6 +20,15 @@ otherwise the ``REPRO_WORKERS`` environment variable, otherwise
 entirely; pool start-up failures (sandboxes without semaphore support)
 fall back to the serial path, so the runner degrades instead of crashing.
 
+Heterogeneous grids (sensitivity sweeps over task-set size, disturbance
+grids mixing long and short runs) are dispatched **cost-ordered**: cells
+are submitted longest-first through ``imap_unordered`` — a work-stealing
+feed where each worker pulls the next pending cell the moment it goes
+idle — and results are restored to submission order before returning.
+The expensive cells start first instead of last, so the grid stops
+tail-waiting on one slow straggler, while the returned list (and hence
+every fold) stays bit-identical to the serial loop.
+
 Since the ``repro.api`` redesign, experiments submit declarative
 :class:`~repro.api.scenario.Scenario` cells through
 :meth:`repro.api.suite.ExperimentSuite.run`, which dispatches to
@@ -68,10 +77,57 @@ def _pool_context():
     return multiprocessing.get_context()
 
 
+def estimate_cell_cost(cell: Tuple) -> float:
+    """Relative wall-clock estimate for one run cell.
+
+    Recognizes the two argument shapes that dominate grid runtime —
+    declarative :class:`~repro.api.scenario.Scenario` cells (simulated
+    duration x workload size) and legacy direct-construction cells
+    carrying a :class:`~repro.workloads.model.Workload` — and returns a
+    neutral constant otherwise, which keeps submission order for
+    homogeneous grids (descending sort is stable).
+    """
+    cost = 1.0
+    recognized = False
+    for arg in cell:
+        # Duck-typed to avoid importing the API layer for plain cells.
+        workload_source = getattr(arg, "workload", None)
+        if workload_source is not None and hasattr(arg, "duration"):
+            # A Scenario: duration x task count (explicit workloads embed
+            # the task list; generator recipes carry their task counts).
+            size = 1
+            embedded = getattr(workload_source, "workload", None)
+            if embedded is not None:
+                size = max(1, len(embedded.tasks))
+            else:
+                params = getattr(workload_source, "params", None)
+                if params is not None:
+                    size = max(
+                        1,
+                        getattr(params, "n_periodic", 0)
+                        + getattr(params, "n_aperiodic", 0),
+                    )
+            cost *= max(arg.duration, 1e-9) * size
+            recognized = True
+        elif hasattr(arg, "tasks") and hasattr(arg, "app_nodes"):
+            # A bare Workload in a legacy cell.
+            cost *= max(1, len(arg.tasks))
+            recognized = True
+    return cost if recognized else 1.0
+
+
+def _indexed_cell(job: Tuple) -> Tuple[int, object]:
+    """Pool wrapper: evaluate one cell, tagged with its submission index
+    so unordered completion can be restored to submission order."""
+    fn, index, cell = job
+    return index, fn(*cell)
+
+
 def run_cells(
     fn: Callable,
     cells: Iterable[Tuple],
     n_workers: Optional[int] = None,
+    cost_key: Optional[Callable[[Tuple], float]] = None,
 ) -> List:
     """Evaluate ``fn(*cell)`` for every cell, in order, possibly in parallel.
 
@@ -79,11 +135,22 @@ def run_cells(
     tuple of picklable arguments.  The result list is ordered like
     ``cells`` regardless of worker scheduling, which is what lets callers
     fold results exactly as their serial loops would.
+
+    Cells are *submitted* longest-estimated-first (``cost_key``, default
+    :func:`estimate_cell_cost`) and pulled by idle workers through
+    ``imap_unordered`` — results are re-ordered before returning, so the
+    scheduling policy is invisible to callers.
     """
     cell_list = [tuple(cell) for cell in cells]
     workers = min(resolve_workers(n_workers), len(cell_list))
     if workers <= 1 or len(cell_list) <= 1:
         return [fn(*cell) for cell in cell_list]
+    estimate = cost_key or estimate_cell_cost
+    order = sorted(
+        range(len(cell_list)),
+        key=lambda i: estimate(cell_list[i]),
+        reverse=True,
+    )
     try:
         pool = _pool_context().Pool(workers)
     except (OSError, PermissionError, RuntimeError):
@@ -91,7 +158,11 @@ def run_cells(
         # cells are pure functions, so serial evaluation is equivalent.
         return [fn(*cell) for cell in cell_list]
     try:
-        return pool.starmap(fn, cell_list, chunksize=1)
+        results: List = [None] * len(cell_list)
+        jobs = [(fn, i, cell_list[i]) for i in order]
+        for index, result in pool.imap_unordered(_indexed_cell, jobs, chunksize=1):
+            results[index] = result
+        return results
     finally:
         pool.close()
         pool.join()

@@ -16,6 +16,16 @@ Implements the schedulability machinery from Abdelzaher, Thaker & Lardieri
   completed subjobs may be removed without invalidating the analysis —
   the mechanism behind the paper's Idle Resetting service.
 
+The ledger is **sharded per processor**: each node owns an independent
+:class:`_LedgerShard` (its own contribution map, cached total, optional
+time-weighted statistic), so contributions on one processor never touch
+another processor's structures and 1000-processor deployments stop
+serializing on one shared dict.  :meth:`SyntheticUtilizationLedger.add_batch`
+and :meth:`~SyntheticUtilizationLedger.remove_batch` apply a group of
+contributions with **one observer notification per touched node** instead
+of one per contribution — the mechanism behind batched burst admission
+and idle-period reclaim coalescing.
+
 Two analyzer implementations share the same API:
 
 * :class:`AubAnalyzer` — the **incremental engine** used by the
@@ -24,19 +34,32 @@ Two analyzer implementations share the same API:
   with per-task cached condition totals, and retires expired registrations
   through a min-heap instead of a linear sweep.  An admission test only
   evaluates the candidate plus the tasks that visit a node whose
-  utilization would actually change.
+  utilization would actually change.  :meth:`AubAnalyzer.admissible_batch`
+  admits a whole burst of simultaneous arrivals in one call: one prune,
+  one dirty refresh, shared hypothetical per-node totals, and
+  O(changed-nodes) bookkeeping per accepted candidate.
 * :class:`NaiveAubAnalyzer` — the direct transcription of condition (1)
   (snapshot the ledger, rescan every registered task).  Retained as the
   reference implementation: property tests assert the incremental engine
-  makes bit-identical decisions, and the hot-path benchmark measures the
-  speedup against it.
+  makes bit-identical decisions — per call *and* per batch — and the
+  hot-path benchmark measures the speedup against it.
 """
 
 from __future__ import annotations
 
 import heapq
 import math
-from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
+from typing import (
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
 
 from repro.errors import SchedulingError
 from repro.sim.monitor import TimeWeightedStat
@@ -44,6 +67,15 @@ from repro.sim.monitor import TimeWeightedStat
 #: Numeric slack for condition comparisons, so contributions that sum to
 #: exactly the bound are not rejected by floating-point noise.
 EPSILON = 1e-9
+
+#: Safety margin of the batch screen (see ``admissible_batch``): a task
+#: is exempted from per-candidate re-evaluation only if its condition
+#: under the burst's worst-case totals stays this far *below* the
+#: admission bound.  The margin dwarfs the ulp-scale wobble of float
+#: monotonicity (~1e-15 for realistic visit lists), so tasks anywhere
+#: near the boundary take the exact per-candidate path and decisions
+#: remain bit-identical to the sequential oracle.
+SCREEN_GUARD = 1e-12
 
 #: A ledger contribution key: (task_id, job_index, subtask_index).
 #: ``job_index == RESERVED`` marks a per-task reservation (AC-per-Task
@@ -99,42 +131,63 @@ def task_condition_holds(visit_utils: Sequence[float]) -> bool:
     return True
 
 
+class _LedgerShard:
+    """One processor's slice of the ledger.
+
+    Each shard owns its contribution map, its cached total, and (when time
+    tracking is on) its time-weighted statistic.  A mutation on one node
+    therefore touches only that node's shard — no shared structure is
+    written on the hot path, which is what lets 1000-processor deployments
+    scale without serializing on one dict.
+    """
+
+    __slots__ = ("contribs", "total", "stat")
+
+    def __init__(self, stat: Optional[TimeWeightedStat] = None) -> None:
+        self.contribs: Dict[ContributionKey, float] = {}
+        self.total: float = 0.0
+        self.stat = stat
+
+
 class SyntheticUtilizationLedger:
     """Tracks per-processor synthetic utilization with explicit lifecycle.
 
     Contributions are keyed by :data:`ContributionKey` per processor, so
     each (job, subtask) contribution can be removed exactly once by either
     deadline expiry or an idle reset — making the strategy semantics of the
-    AC/IR services executable and auditable.
+    AC/IR services executable and auditable.  Storage is sharded per node
+    (:class:`_LedgerShard`).
 
     Observers registered through :meth:`subscribe` are notified with the
     node name whenever that node's total changes; the incremental analyzer
-    uses this to invalidate its cached ``f(U_j)`` terms.
+    uses this to invalidate its cached ``f(U_j)`` terms.  The batch
+    mutators (:meth:`add_batch`, :meth:`remove_batch`) notify **once per
+    touched node** — equivalent for any idempotent invalidation listener,
+    and the reason a burst commit or an idle-period reclaim costs one AUB
+    refresh instead of one per subjob.
     """
 
     def __init__(self, nodes: Iterable[str], track_time: bool = False) -> None:
         node_list = list(nodes)
         if not node_list:
             raise SchedulingError("ledger needs at least one processor")
-        self._contribs: Dict[str, Dict[ContributionKey, float]] = {
-            n: {} for n in node_list
+        self._shards: Dict[str, _LedgerShard] = {
+            n: _LedgerShard(TimeWeightedStat() if track_time else None)
+            for n in node_list
         }
-        self._totals: Dict[str, float] = {n: 0.0 for n in node_list}
         self._observers: List[Callable[[str], None]] = []
-        self._stats: Optional[Dict[str, TimeWeightedStat]] = None
-        if track_time:
-            self._stats = {n: TimeWeightedStat() for n in node_list}
+        self._track_time = track_time
 
     # ------------------------------------------------------------------
     # Node access
     # ------------------------------------------------------------------
     @property
     def nodes(self) -> List[str]:
-        return sorted(self._contribs)
+        return sorted(self._shards)
 
-    def _node(self, node: str) -> Dict[ContributionKey, float]:
+    def _shard(self, node: str) -> _LedgerShard:
         try:
-            return self._contribs[node]
+            return self._shards[node]
         except KeyError:
             raise SchedulingError(f"unknown processor {node!r}") from None
 
@@ -147,7 +200,18 @@ class SyntheticUtilizationLedger:
     # ------------------------------------------------------------------
     def add(self, node: str, key: ContributionKey, value: float, now: float = 0.0) -> None:
         """Accrue a contribution.  Re-adding an existing key is an error."""
-        contribs = self._node(node)
+        shard = self._shard(node)
+        self._add_to_shard(shard, node, key, value)
+        if shard.stat is not None:
+            shard.stat.update(now, shard.total)
+        for observer in self._observers:
+            observer(node)
+
+    @staticmethod
+    def _add_to_shard(
+        shard: _LedgerShard, node: str, key: ContributionKey, value: float
+    ) -> None:
+        contribs = shard.contribs
         if key in contribs:
             raise SchedulingError(
                 f"contribution {key} already present on {node!r}"
@@ -155,11 +219,7 @@ class SyntheticUtilizationLedger:
         if value < 0:
             raise SchedulingError(f"contribution must be >= 0, got {value}")
         contribs[key] = value
-        self._totals[node] += value
-        if self._stats is not None:
-            self._stats[node].update(now, self._totals[node])
-        for observer in self._observers:
-            observer(node)
+        shard.total += value
 
     def remove(self, node: str, key: ContributionKey, now: float = 0.0) -> bool:
         """Remove a contribution if present; returns whether it existed.
@@ -167,54 +227,173 @@ class SyntheticUtilizationLedger:
         Removal is tolerant of absent keys because deadline expiry and idle
         resetting race benignly: whichever fires second finds the key gone.
         """
-        contribs = self._node(node)
-        value = contribs.pop(key, None)
-        if value is None:
+        shard = self._shard(node)
+        if not self._remove_from_shard(shard, node, key):
             return False
-        self._totals[node] -= value
-        if not contribs:
-            # Snap to exactly zero when the last contribution leaves, so
-            # float residue cannot accumulate across add/remove cycles.
-            self._totals[node] = 0.0
-        if self._totals[node] < 0:
-            # Guard against float drift; totals are sums of removals of
-            # previously added values so true negatives are impossible.
-            self._totals[node] = 0.0 if self._totals[node] > -1e-12 else self._totals[node]
-            if self._totals[node] < 0:
-                raise SchedulingError(
-                    f"negative synthetic utilization on {node!r}"
-                )
-        if self._stats is not None:
-            self._stats[node].update(now, self._totals[node])
+        if shard.stat is not None:
+            shard.stat.update(now, shard.total)
         for observer in self._observers:
             observer(node)
         return True
 
+    @staticmethod
+    def _remove_from_shard(
+        shard: _LedgerShard, node: str, key: ContributionKey
+    ) -> bool:
+        value = shard.contribs.pop(key, None)
+        if value is None:
+            return False
+        shard.total -= value
+        if not shard.contribs:
+            # Snap to exactly zero when the last contribution leaves, so
+            # float residue cannot accumulate across add/remove cycles.
+            shard.total = 0.0
+        if shard.total < 0:
+            # Guard against float drift; totals are sums of removals of
+            # previously added values so true negatives are impossible.
+            if shard.total > -1e-12:
+                shard.total = 0.0
+            else:
+                raise SchedulingError(
+                    f"negative synthetic utilization on {node!r}"
+                )
+        return True
+
+    # ------------------------------------------------------------------
+    # Batched lifecycle (one notification per touched node)
+    # ------------------------------------------------------------------
+    def add_batch(
+        self,
+        entries: Iterable[Tuple[str, ContributionKey, float]],
+        now: float = 0.0,
+    ) -> None:
+        """Accrue many contributions at once.
+
+        ``entries`` is applied **in order** (per-stage float accumulation
+        is kept bit-identical to a loop of :meth:`add` calls); observers
+        and time statistics see one update per touched node instead of one
+        per contribution.
+        """
+        touched: Dict[str, _LedgerShard] = {}
+        try:
+            for node, key, value in entries:
+                shard = touched.get(node)
+                if shard is None:
+                    shard = self._shard(node)
+                    touched[node] = shard
+                self._add_to_shard(shard, node, key, value)
+        finally:
+            self._notify_touched(touched, now)
+
+    def remove_batch(
+        self,
+        entries: Iterable[Tuple[str, ContributionKey]],
+        now: float = 0.0,
+    ) -> int:
+        """Remove many contributions at once; returns how many existed.
+
+        Tolerant of absent keys like :meth:`remove`; nodes where nothing
+        was actually removed are not notified.
+        """
+        removed = 0
+        touched: Dict[str, _LedgerShard] = {}
+        try:
+            for node, key in entries:
+                shard = touched.get(node)
+                known = shard is not None
+                if not known:
+                    shard = self._shard(node)
+                if self._remove_from_shard(shard, node, key):
+                    removed += 1
+                    if not known:
+                        touched[node] = shard
+        finally:
+            self._notify_touched(touched, now)
+        return removed
+
+    def _notify_touched(
+        self, touched: Dict[str, _LedgerShard], now: float
+    ) -> None:
+        for node, shard in touched.items():
+            if shard.stat is not None:
+                shard.stat.update(now, shard.total)
+            for observer in self._observers:
+                observer(node)
+
     def contains(self, node: str, key: ContributionKey) -> bool:
-        return key in self._node(node)
+        return key in self._shard(node).contribs
 
     def utilization(self, node: str) -> float:
         """Current synthetic utilization U_j(t) of ``node``."""
-        self._node(node)
-        return self._totals[node]
+        return self._shard(node).total
 
     def utilization_or_zero(self, node: str) -> float:
         """Like :meth:`utilization` but 0.0 for unknown processors (the
         tolerance the admission test extends to hypothetical nodes)."""
-        return self._totals.get(node, 0.0)
+        shard = self._shards.get(node)
+        return shard.total if shard is not None else 0.0
 
     def snapshot(self) -> Dict[str, float]:
         """Copy of all current synthetic utilizations."""
-        return dict(self._totals)
+        return {node: shard.total for node, shard in self._shards.items()}
 
     def contribution_count(self, node: str) -> int:
-        return len(self._node(node))
+        return len(self._shard(node).contribs)
 
     def average_utilization(self, node: str, until: float) -> float:
         """Time-weighted average of U_j (requires ``track_time=True``)."""
-        if self._stats is None:
+        if not self._track_time:
             raise SchedulingError("ledger was not created with track_time=True")
-        return self._stats[node].average(until)
+        return self._shard(node).stat.average(until)
+
+
+class BatchCandidate:
+    """One arrival in a burst submitted to ``admissible_batch``.
+
+    Parameters
+    ----------
+    visits:
+        Processor list the candidate visits (one entry per stage).
+    stage_contribs:
+        The per-stage ``(node, utilization)`` contributions **in commit
+        order**.  Kept separate from the aggregated ``contribs`` mapping
+        because the ledger accrues stage values one at a time and float
+        addition is not associative — replaying the exact commit order is
+        what keeps batch decisions bit-identical to the sequential
+        test-and-commit path.
+    key:
+        Optional registry key carried for the caller's bookkeeping;
+        ``admissible_batch`` itself never registers anything.
+
+    Batch candidates model *arrivals*, so stage contributions must be
+    non-negative (relocations with mixed-sign deltas go through the
+    per-candidate :meth:`AubAnalyzer.admissible` path).
+    """
+
+    __slots__ = ("visits", "stage_contribs", "contribs", "key")
+
+    def __init__(
+        self,
+        visits: Sequence[str],
+        stage_contribs: Sequence[Tuple[str, float]],
+        key: Optional[Tuple[str, int]] = None,
+    ) -> None:
+        self.visits: Tuple[str, ...] = tuple(visits)
+        self.stage_contribs: Tuple[Tuple[str, float], ...] = tuple(
+            (node, float(value)) for node, value in stage_contribs
+        )
+        contribs: Dict[str, float] = {}
+        for node, value in self.stage_contribs:
+            if value < 0:
+                raise SchedulingError(
+                    f"batch candidates are arrivals; stage contribution on "
+                    f"{node!r} must be >= 0, got {value}"
+                )
+            # The same aggregation expression the admission controller
+            # uses, so the tested deltas are the same floats.
+            contribs[node] = contribs.get(node, 0.0) + value
+        self.contribs = contribs
+        self.key = key
 
 
 class AubAnalyzer:
@@ -231,14 +410,26 @@ class AubAnalyzer:
       condition totals restrict each test to the candidate and the tasks
       visiting a node whose utilization would actually change;
     * expirations sit in a min-heap popped as time advances, replacing the
-      per-test linear sweep over the whole registry.
+      per-test linear sweep over the whole registry (the heap is compacted
+      during :meth:`prune` when lazily-invalidated stale entries outnumber
+      live ones).
 
     Decisions are bit-identical to :class:`NaiveAubAnalyzer`: hypothetical
     utilizations use the same ``max(0, U + delta)`` expression, per-task
     sums run in visit order with the same early exit, and tasks untouched
     by the candidate are covered by the cached-total invariant (their
     condition value cannot have changed since it was last computed).
+
+    :meth:`admissible_batch` extends the same machinery to a burst of
+    simultaneous arrivals: prune and dirty-refresh run once, hypothetical
+    per-node totals are shared across the burst, and each accepted
+    candidate costs only O(changed nodes) overlay updates — no ledger
+    mutation, no cache invalidation, no per-candidate refresh storm.
     """
+
+    #: Compact the expiry heap only beyond this size (below it, lazy
+    #: skipping is cheaper than rebuilding).
+    _HEAP_COMPACT_MIN = 64
 
     def __init__(self, ledger: SyntheticUtilizationLedger) -> None:
         self.ledger = ledger
@@ -257,6 +448,10 @@ class AubAnalyzer:
         self._violating: Set[Tuple[str, int]] = set()
         #: (expiry, key) min-heap with lazy invalidation
         self._expiry_heap: List[Tuple[float, Tuple[str, int]]] = []
+        #: Upper bound on stale heap entries (re-registered or
+        #: unregistered keys whose old entry still sits in the heap);
+        #: drives compaction in :meth:`prune`.
+        self._expiry_stale = 0
         self.tests_performed = 0
         ledger.subscribe(self._on_ledger_change)
 
@@ -309,6 +504,9 @@ class AubAnalyzer:
         """
         old = self._visits.get(key)
         if old is not None:
+            if old[1] is not None:
+                # The old registration's heap entry is now stale.
+                self._expiry_stale += 1
             self._detach(key, old[0])
         self._visits[key] = (visits, expiry)
         by_node = self._by_node
@@ -337,22 +535,46 @@ class AubAnalyzer:
     def unregister(self, key: Tuple[str, int]) -> None:
         entry = self._visits.pop(key, None)
         if entry is not None:
+            if entry[1] is not None:
+                # Its heap entry outlives the registration — now stale.
+                self._expiry_stale += 1
             self._detach(key, entry[0])
 
     def prune(self, now: float) -> None:
         """Retire registry entries whose expiry has passed.
 
         Stale heap entries (keys re-registered with a different expiry, or
-        already unregistered) are skipped lazily on pop.
+        already unregistered) are skipped lazily on pop; when they come to
+        outnumber the live entries the heap is compacted — rebuilt from
+        the registry — so churn-heavy runs (relocations, per-job
+        re-registrations) cannot grow the heap without bound.
         """
         heap = self._expiry_heap
         limit = now + EPSILON
+        visits = self._visits
         while heap and heap[0][0] <= limit:
             expiry, key = heapq.heappop(heap)
-            entry = self._visits.get(key)
+            entry = visits.get(key)
             if entry is not None and entry[1] == expiry:
-                del self._visits[key]
+                del visits[key]
                 self._detach(key, entry[0])
+            elif self._expiry_stale > 0:
+                self._expiry_stale -= 1
+        if (
+            len(heap) >= self._HEAP_COMPACT_MIN
+            and self._expiry_stale * 2 > len(heap)
+        ):
+            self._compact_expiry_heap()
+
+    def _compact_expiry_heap(self) -> None:
+        """Rebuild the expiry heap from live registrations only."""
+        self._expiry_heap = [
+            (expiry, key)
+            for key, (_visits, expiry) in self._visits.items()
+            if expiry is not None
+        ]
+        heapq.heapify(self._expiry_heap)
+        self._expiry_stale = 0
 
     @property
     def registered(self) -> int:
@@ -434,6 +656,221 @@ class AubAnalyzer:
                     return False
         return True
 
+    def admissible_batch(
+        self,
+        candidates: Sequence[BatchCandidate],
+        now: float,
+    ) -> List[bool]:
+        """Greedy burst admission: one decision per candidate, in order.
+
+        Decisions are **bit-identical** to testing each candidate with
+        :meth:`admissible` and committing each accepted candidate's
+        contributions (stage by stage, in order) to the ledger before
+        testing the next — the prefix-greedy set.  The call is pure: the
+        ledger and the registry are untouched; the caller commits accepted
+        candidates afterwards (e.g. one
+        :meth:`SyntheticUtilizationLedger.add_batch` over the accepted
+        stage contributions in candidate order, then ``register()`` each).
+
+        The batch amortizes everything the per-arrival path pays per
+        arrival.  Prune and dirty-refresh run once.  Then the **shared
+        hypothetical totals screen** runs once: the worst-case per-node
+        totals ``U_max`` (current totals plus *every* candidate's stage
+        deltas) are built in one pass, and every registered task on a
+        burst-touched node is evaluated once against them.  Burst deltas
+        are non-negative and ``f`` is monotone, so any hypothetical state
+        a candidate can produce lies at or below ``U_max`` node-wise — a
+        task whose condition holds under ``U_max`` (by at least
+        :data:`SCREEN_GUARD`, which absorbs ulp-scale float wobble) can
+        never fail inside this batch and is exempted from every
+        per-candidate rescan.  Only the tasks the screen puts on watch
+        are re-evaluated exactly, per candidate, with the same floats the
+        sequential path would compute.  An accepted candidate costs
+        O(changed nodes) overlay updates plus its own one-off screen —
+        no ledger mutation, so no cache invalidation and no re-refresh
+        storm between candidates.
+        """
+        self.prune(now)
+        self._refresh_dirty()
+        ledger = self.ledger
+        by_node = self._by_node
+        registry = self._visits
+        violating = self._violating
+        # ---- one-pass screen: shared worst-case hypothetical totals ----
+        umax: Dict[str, float] = {}
+        for cand in candidates:
+            for node, value in cand.stage_contribs:
+                base = umax.get(node)
+                if base is None:
+                    base = ledger.utilization_or_zero(node)
+                umax[node] = base + value
+        umax_terms = {node: aub_term(u) for node, u in umax.items()}
+        screen_bound = 1.0 + EPSILON - SCREEN_GUARD
+        watch: Set[Tuple[str, int]] = set()
+        to_screen: Set[Tuple[str, int]] = set()
+        for node in umax:
+            keys = by_node.get(node)
+            if keys:
+                to_screen.update(keys)
+        for key in to_screen:
+            total = 0.0
+            for node in registry[key][0]:
+                term = umax_terms.get(node)
+                total += self._term(node) if term is None else term
+                if total > screen_bound:
+                    watch.add(key)
+                    break
+        # Batch-local overlay over the ledger: running totals for nodes an
+        # accepted candidate touched, cached f() terms for those nodes,
+        # and a node -> watched-accepted-candidate reverse index (accepted
+        # candidates join the rescan set exactly like registered tasks,
+        # and are screened against U_max the same way).
+        over_totals: Dict[str, float] = {}
+        over_terms: Dict[str, float] = {}
+        accepted_by_node: Dict[str, Set[int]] = {}
+        accepted_visits: List[Tuple[str, ...]] = []
+        decisions: List[bool] = []
+        for cand in candidates:
+            self.tests_performed += 1
+            visits = cand.visits
+            contribs = cand.contribs
+            # Hypothetical post-admission utilization on each touched node.
+            hyp: Dict[str, float] = {}
+            for node, extra in contribs.items():
+                base = over_totals.get(node)
+                if base is None:
+                    base = ledger.utilization_or_zero(node)
+                hyp[node] = max(0.0, base + extra)
+            ok = True
+            # Every processor must stay below saturation.
+            for node in set(visits):
+                u = hyp.get(node)
+                if u is None:
+                    u = over_totals.get(node)
+                    if u is None:
+                        u = ledger.utilization_or_zero(node)
+                if u >= 1.0:
+                    ok = False
+                    break
+            # The candidate's own condition.
+            if ok:
+                total = 0.0
+                for node in visits:
+                    u = hyp.get(node)
+                    if u is None:
+                        total += self._overlay_term(node, over_totals, over_terms)
+                    else:
+                        total += aub_term(u)
+                    if total > 1.0 + EPSILON:
+                        ok = False
+                        break
+            # Watched registered tasks and watched earlier-accepted
+            # candidates visiting a node this candidate would change.
+            # (Screened-out tasks cannot fail under any state <= U_max.)
+            affected: Set[Tuple[str, int]] = set()
+            affected_accepted: Set[int] = set()
+            if ok and (watch or accepted_by_node):
+                for node, extra in contribs.items():
+                    if extra == 0.0:
+                        continue
+                    keys = by_node.get(node)
+                    if keys and watch:
+                        affected.update(keys & watch)
+                    batch_keys = accepted_by_node.get(node)
+                    if batch_keys:
+                        affected_accepted.update(batch_keys)
+            if ok and violating:
+                # A task already over the bound fails the test no matter
+                # what this candidate changes elsewhere; with non-negative
+                # arrival deltas it cannot recover inside the batch, so
+                # every candidate is rejected either here or in the
+                # affected rescan below (violating tasks screen onto the
+                # watch list whenever a candidate touches their nodes).
+                for key in violating:
+                    if key not in affected:
+                        ok = False
+                        break
+            if ok:
+                for key in affected:
+                    total = 0.0
+                    for node in registry[key][0]:
+                        u = hyp.get(node)
+                        if u is None:
+                            total += self._overlay_term(
+                                node, over_totals, over_terms
+                            )
+                        else:
+                            total += aub_term(u)
+                        if total > 1.0 + EPSILON:
+                            ok = False
+                            break
+                    if not ok:
+                        break
+            if ok:
+                for index in affected_accepted:
+                    total = 0.0
+                    for node in accepted_visits[index]:
+                        u = hyp.get(node)
+                        if u is None:
+                            total += self._overlay_term(
+                                node, over_totals, over_terms
+                            )
+                        else:
+                            total += aub_term(u)
+                        if total > 1.0 + EPSILON:
+                            ok = False
+                            break
+                    if not ok:
+                        break
+            decisions.append(ok)
+            if ok:
+                # Commit into the overlay: replay the exact per-stage
+                # additions the ledger would perform, then invalidate the
+                # overlay terms of the changed nodes — O(changed nodes).
+                index = len(accepted_visits)
+                accepted_visits.append(visits)
+                for node, value in cand.stage_contribs:
+                    base = over_totals.get(node)
+                    if base is None:
+                        base = ledger.utilization_or_zero(node)
+                    over_totals[node] = base + value
+                # Screen the accepted candidate against U_max like a
+                # registered task: only watched ones are ever rescanned.
+                total = 0.0
+                watched = False
+                for node in visits:
+                    term = umax_terms.get(node)
+                    total += self._term(node) if term is None else term
+                    if total > screen_bound:
+                        watched = True
+                        break
+                for node in contribs:
+                    over_terms.pop(node, None)
+                    if watched:
+                        members = accepted_by_node.get(node)
+                        if members is None:
+                            accepted_by_node[node] = {index}
+                        else:
+                            members.add(index)
+        return decisions
+
+    def _overlay_term(
+        self,
+        node: str,
+        over_totals: Dict[str, float],
+        over_terms: Dict[str, float],
+    ) -> float:
+        """Cached f(U_j) under the batch overlay (falls back to the
+        ledger-level cached term for nodes the batch has not changed)."""
+        term = over_terms.get(node)
+        if term is None:
+            u = over_totals.get(node)
+            if u is None:
+                return self._term(node)
+            term = aub_term(u)
+            over_terms[node] = term
+        return term
+
 
 class NaiveAubAnalyzer:
     """Reference implementation: full-registry rescan per admission test.
@@ -498,3 +935,55 @@ class NaiveAubAnalyzer:
             if not task_condition_holds([totals.get(n, 0.0) for n in visits]):
                 return False
         return True
+
+    def admissible_batch(
+        self,
+        candidates: Sequence[BatchCandidate],
+        now: float,
+    ) -> List[bool]:
+        """Reference burst admission: the literal sequential loop.
+
+        Each candidate is tested exactly like :meth:`admissible` against
+        the running totals; an accepted candidate's stage contributions
+        are folded into the totals (in commit order) and its visit list
+        joins the rescan set, exactly as if it had been committed to the
+        ledger and registered before the next test.
+        """
+        self.prune(now)
+        totals = self.ledger.snapshot()
+        accepted: List[Tuple[str, ...]] = []
+        decisions: List[bool] = []
+        for cand in candidates:
+            self.tests_performed += 1
+            trial = dict(totals)
+            for node, extra in cand.contribs.items():
+                trial[node] = max(0.0, trial.get(node, 0.0) + extra)
+            ok = True
+            for node in set(cand.visits):
+                if trial.get(node, 0.0) >= 1.0:
+                    ok = False
+                    break
+            if ok and not task_condition_holds(
+                [trial[n] for n in cand.visits]
+            ):
+                ok = False
+            if ok:
+                for _key, (visits, _expiry) in self._visits.items():
+                    if not task_condition_holds(
+                        [trial.get(n, 0.0) for n in visits]
+                    ):
+                        ok = False
+                        break
+            if ok:
+                for visits in accepted:
+                    if not task_condition_holds(
+                        [trial.get(n, 0.0) for n in visits]
+                    ):
+                        ok = False
+                        break
+            decisions.append(ok)
+            if ok:
+                for node, value in cand.stage_contribs:
+                    totals[node] = totals.get(node, 0.0) + value
+                accepted.append(cand.visits)
+        return decisions

@@ -205,7 +205,7 @@ class TestAdmissionController:
             "app1",
             env.manager_node,
             TOPIC_IDLE_RESETTING,
-            IdleResettingEvent(node="app1", entries=((("T"), 0, 0, "app1"),)),
+            IdleResettingEvent(node="app1", entries=(("T", 0, 0),)),
         )
         env.sim.run()
         assert ac.ledger.utilization("app1") == 0.0
@@ -218,7 +218,7 @@ class TestAdmissionController:
             "app1",
             env.manager_node,
             TOPIC_IDLE_RESETTING,
-            IdleResettingEvent(node="app1", entries=((("T"), 9, 9, "app1"),)),
+            IdleResettingEvent(node="app1", entries=(("T", 9, 9),)),
         )
         env.sim.run()
         assert ac.idle_resets_applied == 0

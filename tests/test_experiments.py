@@ -195,6 +195,39 @@ class TestParallelRunner:
         assert run_cells(pow, cells, n_workers=3) == [i * i for i in range(7)]
         assert run_cells(pow, cells, n_workers=1) == [i * i for i in range(7)]
 
+    def test_run_cells_cost_ordered_dispatch_is_invisible(self):
+        """A custom cost key reshuffles submission, never results."""
+        from repro.experiments import run_cells
+
+        cells = [(i, 2, None) for i in range(9)]
+        # Perverse estimate (cheapest first) must still return in order.
+        results = run_cells(
+            pow, cells, n_workers=4, cost_key=lambda cell: -cell[0]
+        )
+        assert results == [i * i for i in range(9)]
+
+    def test_estimate_cell_cost_orders_heterogeneous_scenarios(self):
+        from repro.api import Scenario
+        from repro.api.scenario import WorkloadSource
+        from repro.experiments.runner import estimate_cell_cost
+        from repro.workloads.generator import RandomWorkloadParams
+
+        small = Scenario(
+            workload=WorkloadSource.random(
+                seed=1, params=RandomWorkloadParams(n_periodic=2, n_aperiodic=2)
+            ),
+            duration=5.0,
+        )
+        large = Scenario(
+            workload=WorkloadSource.random(
+                seed=1, params=RandomWorkloadParams(n_periodic=9, n_aperiodic=9)
+            ),
+            duration=60.0,
+        )
+        assert estimate_cell_cost((large,)) > estimate_cell_cost((small,))
+        # Unrecognized cells get a neutral constant (stable order).
+        assert estimate_cell_cost((1, "x", None)) == 1.0
+
     def test_figure5_parallel_bit_identical_to_serial(self):
         combos = [StrategyCombo.from_label(l) for l in ("J_N_N", "J_J_J", "T_T_T")]
         serial = run_figure5(

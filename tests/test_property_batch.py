@@ -1,0 +1,322 @@
+"""Property tests for the batched hot path.
+
+Two contracts are enforced here:
+
+* **Batch admission parity** — for random bursts of arrivals,
+  :meth:`AubAnalyzer.admissible_batch` accepts exactly the prefix-greedy
+  set that sequential :meth:`NaiveAubAnalyzer.admissible` calls (with
+  real per-stage ledger commits between them) would accept, at exact
+  float equality; and :meth:`NaiveAubAnalyzer.admissible_batch` — the
+  retained reference transcription — agrees with both.
+* **Ledger shard invariants** — the per-node sharded
+  :class:`SyntheticUtilizationLedger` reports the same utilizations,
+  snapshots, and contribution counts as an unsharded dict-of-dicts
+  reference across random mixes of scalar and batched add/remove
+  operations.
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sched.aub import (
+    AubAnalyzer,
+    BatchCandidate,
+    NaiveAubAnalyzer,
+    SyntheticUtilizationLedger,
+)
+
+NODES = ("a", "b", "c", "d")
+
+
+# ----------------------------------------------------------------------
+# Batch admission parity
+# ----------------------------------------------------------------------
+def _build_population(rng, n_pre):
+    """Three identical ledgers/analyzers with ``n_pre`` admitted tasks."""
+    ledgers = [SyntheticUtilizationLedger(NODES) for _ in range(3)]
+    analyzers = [
+        AubAnalyzer(ledgers[0]),
+        NaiveAubAnalyzer(ledgers[1]),
+        NaiveAubAnalyzer(ledgers[2]),
+    ]
+    for i in range(n_pre):
+        stages = rng.randint(1, 3)
+        visits = [rng.choice(NODES) for _ in range(stages)]
+        utils = [rng.uniform(0.005, 0.15) for _ in range(stages)]
+        expiry = 1e9 if rng.random() < 0.8 else None
+        for ledger in ledgers:
+            for j, (node, util) in enumerate(zip(visits, utils)):
+                ledger.add(node, (f"P{i}", 0, j), util)
+        for analyzer in analyzers:
+            analyzer.register((f"P{i}", 0), list(visits), expiry)
+    return ledgers, analyzers
+
+
+def _random_burst(rng, size):
+    candidates = []
+    for c in range(size):
+        stages = rng.randint(1, 3)
+        visits = [rng.choice(NODES) for _ in range(stages)]
+        utils = [rng.uniform(0.005, 0.3) for _ in range(stages)]
+        candidates.append(
+            BatchCandidate(visits, list(zip(visits, utils)), key=(f"B{c}", 0))
+        )
+    return candidates
+
+
+def _sequential_oracle(ledger, analyzer, candidates, now):
+    """The ground truth: test each candidate, really commit accepts
+    (under each candidate's own registry key)."""
+    decisions = []
+    for cand in candidates:
+        admitted = analyzer.admissible(cand.visits, cand.contribs, now)
+        decisions.append(admitted)
+        if admitted:
+            task_id, job_index = cand.key
+            for j, (node, value) in enumerate(cand.stage_contribs):
+                ledger.add(node, (task_id, job_index, j), value)
+            analyzer.register(cand.key, list(cand.visits), expiry=1e9)
+    return decisions
+
+
+def _assert_burst_parity(seed, n_pre, burst_size):
+    rng = random.Random(seed)
+    ledgers, analyzers = _build_population(rng, n_pre)
+    candidates = _random_burst(rng, burst_size)
+    incremental = analyzers[0].admissible_batch(candidates, now=1.0)
+    naive_batch = analyzers[1].admissible_batch(candidates, now=1.0)
+    sequential = _sequential_oracle(ledgers[2], analyzers[2], candidates, 1.0)
+    assert incremental == naive_batch == sequential, (
+        f"burst decisions diverged (seed={seed}): incremental={incremental} "
+        f"naive_batch={naive_batch} sequential={sequential}"
+    )
+    # Committing the accepted set through add_batch must reproduce the
+    # sequential ledger bit for bit (same per-stage float accumulation).
+    entries = [
+        (node, (cand.key[0], cand.key[1], j), value)
+        for cand, admitted in zip(candidates, incremental)
+        if admitted
+        for j, (node, value) in enumerate(cand.stage_contribs)
+    ]
+    ledgers[0].add_batch(entries)
+    for node in NODES:
+        assert ledgers[0].utilization(node) == ledgers[2].utilization(node)
+    # And the committed incremental engine keeps agreeing with the
+    # sequential oracle on a follow-up burst (fresh F-keys, no collision
+    # with the burst just committed).
+    for cand, admitted in zip(candidates, incremental):
+        if admitted:
+            analyzers[0].register(cand.key, list(cand.visits), expiry=1e9)
+    follow_up = [
+        BatchCandidate(c.visits, c.stage_contribs, key=(f"F{i}", 0))
+        for i, c in enumerate(_random_burst(rng, 4))
+    ]
+    follow_inc = analyzers[0].admissible_batch(follow_up, now=1.0)
+    follow_seq = _sequential_oracle(ledgers[2], analyzers[2], follow_up, 1.0)
+    assert follow_inc == follow_seq
+
+
+class TestBatchAdmissionParity:
+    def test_seeded_bursts(self):
+        saw_accept = saw_reject = False
+        for seed in range(25):
+            rng = random.Random(seed)
+            ledgers, analyzers = _build_population(rng, rng.randint(0, 20))
+            candidates = _random_burst(rng, rng.randint(1, 24))
+            incremental = analyzers[0].admissible_batch(candidates, now=1.0)
+            sequential = _sequential_oracle(
+                ledgers[2], analyzers[2], candidates, 1.0
+            )
+            assert incremental == sequential
+            saw_accept |= any(incremental)
+            saw_reject |= not all(incremental)
+        # The workload must exercise both outcomes to be meaningful.
+        assert saw_accept and saw_reject
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=2**31),
+        n_pre=st.integers(min_value=0, max_value=25),
+        burst_size=st.integers(min_value=1, max_value=32),
+    )
+    def test_random_bursts(self, seed, n_pre, burst_size):
+        _assert_burst_parity(seed, n_pre, burst_size)
+
+    def test_empty_burst(self):
+        ledger = SyntheticUtilizationLedger(NODES)
+        analyzer = AubAnalyzer(ledger)
+        assert analyzer.admissible_batch([], now=0.0) == []
+
+    def test_saturating_burst_rejects_tail(self):
+        """A burst that fills a node admits a prefix and rejects the rest."""
+        ledger = SyntheticUtilizationLedger(["a"])
+        analyzer = AubAnalyzer(ledger)
+        candidates = [
+            BatchCandidate(["a"], [("a", 0.2)], key=(f"B{i}", 0))
+            for i in range(8)
+        ]
+        decisions = analyzer.admissible_batch(candidates, now=0.0)
+        assert any(decisions) and not all(decisions)
+        # Greedy prefix property: once a candidate of this uniform burst
+        # is rejected, every later identical candidate is rejected too.
+        first_reject = decisions.index(False)
+        assert not any(decisions[first_reject:])
+
+
+# ----------------------------------------------------------------------
+# Ledger shard invariants
+# ----------------------------------------------------------------------
+class _UnshardedReference:
+    """The pre-sharding ledger layout: shared dicts keyed by node."""
+
+    def __init__(self, nodes):
+        self.contribs = {n: {} for n in nodes}
+        self.totals = {n: 0.0 for n in nodes}
+
+    def add(self, node, key, value):
+        assert key not in self.contribs[node]
+        self.contribs[node][key] = value
+        self.totals[node] += value
+
+    def remove(self, node, key):
+        value = self.contribs[node].pop(key, None)
+        if value is None:
+            return False
+        self.totals[node] -= value
+        if not self.contribs[node]:
+            self.totals[node] = 0.0
+        return True
+
+
+ops_strategy = st.lists(
+    st.tuples(
+        st.sampled_from(["add", "remove", "add_batch", "remove_batch"]),
+        st.integers(min_value=0, max_value=5),  # op seed
+    ),
+    max_size=30,
+)
+
+
+class TestLedgerShardInvariants:
+    @settings(max_examples=60, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=2**31), ops=ops_strategy)
+    def test_sharded_matches_unsharded_reference(self, seed, ops):
+        rng = random.Random(seed)
+        ledger = SyntheticUtilizationLedger(NODES)
+        reference = _UnshardedReference(NODES)
+        live = []
+        counter = 0
+        for op, _ in ops:
+            if op == "add" or (op == "remove" and not live):
+                node = rng.choice(NODES)
+                key = ("T", counter, 0)
+                counter += 1
+                value = rng.uniform(0.001, 0.2)
+                ledger.add(node, key, value)
+                reference.add(node, key, value)
+                live.append((node, key))
+            elif op == "remove":
+                node, key = live.pop(rng.randrange(len(live)))
+                assert ledger.remove(node, key) == reference.remove(node, key)
+            elif op == "add_batch":
+                entries = []
+                for _ in range(rng.randint(1, 6)):
+                    node = rng.choice(NODES)
+                    key = ("T", counter, 0)
+                    counter += 1
+                    value = rng.uniform(0.001, 0.2)
+                    entries.append((node, key, value))
+                    live.append((node, key))
+                ledger.add_batch(entries)
+                for node, key, value in entries:
+                    reference.add(node, key, value)
+            else:  # remove_batch
+                picks = [
+                    live.pop(rng.randrange(len(live)))
+                    for _ in range(min(len(live), rng.randint(1, 6)))
+                ]
+                # Mix in an absent key: tolerated, not counted.
+                entries = picks + [("a", ("absent", counter, 9))]
+                removed = ledger.remove_batch(entries)
+                expected = sum(
+                    1 for node, key in picks if reference.remove(node, key)
+                )
+                assert removed == expected
+            # The invariant proper: identical externally visible state,
+            # bit for bit (both sides accumulate floats in one order).
+            assert ledger.snapshot() == reference.totals
+            for node in NODES:
+                assert ledger.utilization(node) == reference.totals[node]
+                assert ledger.contribution_count(node) == len(
+                    reference.contribs[node]
+                )
+
+    def test_batch_notifications_once_per_touched_node(self):
+        ledger = SyntheticUtilizationLedger(NODES)
+        notified = []
+        ledger.subscribe(notified.append)
+        ledger.add_batch(
+            [
+                ("a", ("T", 0, 0), 0.1),
+                ("a", ("T", 0, 1), 0.1),
+                ("b", ("T", 0, 2), 0.1),
+            ]
+        )
+        assert notified == ["a", "b"]
+        notified.clear()
+        removed = ledger.remove_batch(
+            [
+                ("a", ("T", 0, 0)),
+                ("a", ("T", 0, 1)),
+                ("b", ("T", 0, 2)),
+                ("c", ("missing", 0, 0)),  # absent: no notification for c
+            ]
+        )
+        assert removed == 3
+        assert notified == ["a", "b"]
+
+    def test_time_tracking_through_batches(self):
+        ledger = SyntheticUtilizationLedger(["a"], track_time=True)
+        ledger.add_batch([("a", ("T", 0, 0), 0.4)], now=0.0)
+        ledger.remove_batch([("a", ("T", 0, 0))], now=2.0)
+        # 0.4 for two seconds, then 0 for two seconds.
+        assert abs(ledger.average_utilization("a", 4.0) - 0.2) < 1e-12
+
+
+# ----------------------------------------------------------------------
+# Expiry-heap compaction
+# ----------------------------------------------------------------------
+class TestExpiryHeapCompaction:
+    def test_heap_stays_bounded_under_reregistration_churn(self):
+        ledger = SyntheticUtilizationLedger(NODES)
+        analyzer = AubAnalyzer(ledger)
+        # Re-register the same keys with fresh expiries far in the future:
+        # without compaction the heap grows by one stale entry per cycle.
+        for round_ in range(50):
+            for i in range(20):
+                analyzer.register(
+                    (f"T{i}", 0), ["a"], expiry=1e6 + round_ * 20 + i
+                )
+            analyzer.prune(now=0.0)
+        assert analyzer.registered == 20
+        # Bounded: at most live entries plus the sub-majority stale tail.
+        assert len(analyzer._expiry_heap) <= 2 * analyzer.registered + 1
+
+    def test_compaction_preserves_expiry_semantics(self):
+        ledger = SyntheticUtilizationLedger(NODES)
+        analyzer = AubAnalyzer(ledger)
+        for i in range(100):
+            analyzer.register((f"T{i}", 0), ["a"], expiry=10.0 + i)
+        # Stale the majority by re-registering with later expiries.
+        for i in range(80):
+            analyzer.register((f"T{i}", 0), ["a"], expiry=500.0 + i)
+        analyzer.prune(now=0.0)  # triggers compaction
+        assert analyzer.registered == 100
+        # Entries with untouched expiries retire on time...
+        analyzer.prune(now=200.0)
+        assert analyzer.registered == 80
+        # ...and the re-registered ones at their new expiry, not the old.
+        analyzer.prune(now=600.0)
+        assert analyzer.registered == 0

@@ -176,3 +176,69 @@ def test_zero_delay_event_fires_at_now():
     sim.schedule(1.0, lambda: sim.schedule(0.0, fired.append, sim.now))
     sim.run()
     assert fired == [1.0]
+
+
+# ----------------------------------------------------------------------
+# Batched same-timestamp delivery
+# ----------------------------------------------------------------------
+def test_schedule_batch_coalesces_same_timestamp_payloads():
+    sim = Simulator()
+    batches = []
+    for i in range(4):
+        sim.schedule_batch(2.0, batches.append, i)
+    sim.schedule_batch(3.0, batches.append, "later")
+    sim.run()
+    # One delivery per (time, priority, callback), payloads in order.
+    assert batches == [[0, 1, 2, 3], ["later"]]
+    assert sim.events_executed == 2
+
+
+def test_schedule_batch_orders_against_plain_events():
+    sim = Simulator()
+    order = []
+    sim.schedule_at(1.0, order.append, "before")
+    sim.schedule_batch(1.0, lambda p: order.append(tuple(p)), "x")
+    sim.schedule_batch(1.0, lambda p: None, "ignored-other-callback")
+    sim.schedule_at(1.0, order.append, "after")
+    sim.run()
+    # The batch keeps its first payload's heap position.
+    assert order == ["before", ("x",), "after"]
+
+
+def test_schedule_batch_cancel_drops_whole_batch():
+    sim = Simulator()
+    batches = []
+    handle = sim.schedule_batch(1.0, batches.append, "a")
+    assert sim.schedule_batch(1.0, batches.append, "b") is handle
+    handle.cancel()
+    # A payload scheduled after cancellation starts a fresh batch.
+    sim.schedule_batch(1.0, batches.append, "c")
+    sim.run()
+    assert batches == [["c"]]
+
+
+def test_schedule_batch_from_inside_callback_starts_fresh_batch():
+    sim = Simulator()
+    batches = []
+
+    def deliver(payloads):
+        batches.append(list(payloads))
+        if payloads == ["first"]:
+            sim.schedule_batch(sim.now, deliver, "second")
+
+    sim.schedule_batch(1.0, deliver, "first")
+    sim.run()
+    assert batches == [["first"], ["second"]]
+
+
+def test_drain_discards_open_batches():
+    sim = Simulator()
+    batches = []
+    sim.schedule_batch(1.0, batches.append, "x")
+    sim.drain()
+    sim.run()
+    assert batches == []
+    # The key is free again after the drain.
+    sim.schedule_batch(1.0, batches.append, "y")
+    sim.run()
+    assert batches == [["y"]]
