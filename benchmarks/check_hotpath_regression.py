@@ -46,8 +46,20 @@ def throughput_metrics(data: dict) -> Iterator[Tuple[str, float]]:
         yield f"admission_batch[{scale}].batch_tests_per_sec", row.get(
             "batch_tests_per_sec"
         )
+    for scale, row in sorted(
+        data.get("lb_placement_batch", {}).items(), key=lambda kv: int(kv[0])
+    ):
+        yield f"lb_placement_batch[{scale}].batch_placements_per_sec", row.get(
+            "batch_placements_per_sec"
+        )
     ledger = data.get("ledger_sharded", {})
     yield "ledger_sharded.batch_ops_per_sec", ledger.get("batch_ops_per_sec")
+    # Deterministic protocol counters: rounds saved by piggybacking a
+    # burst's reservations (not wall-clock, so never normalized away).
+    distributed = data.get("distributed_round", {})
+    yield "distributed_round.round_reduction", distributed.get(
+        "round_reduction"
+    )
 
 
 def compare(
@@ -76,7 +88,12 @@ def compare(
             # The normalizer itself cannot gate its own comparison.
             continue
         checked += 1
-        ratio = (value / fresh_scale) / (reference / base_scale)
+        if normalize and name.endswith("_per_sec"):
+            ratio = (value / fresh_scale) / (reference / base_scale)
+        else:
+            # Deterministic counters (e.g. round_reduction) are machine
+            # independent; normalizing them would skew the comparison.
+            ratio = value / reference
         status = "ok"
         if ratio < 1.0 - tolerance:
             status = "REGRESSION"

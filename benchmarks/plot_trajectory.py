@@ -43,13 +43,18 @@ class Sample:
     incremental_speedup_1000: Optional[float]
     batch_1000: Optional[float]
     batch_speedup_1000: Optional[float]
+    placement_1000: Optional[float]
+    placement_speedup_1000: Optional[float]
     ledger_batch_ops: Optional[float]
+    round_reduction: Optional[float]
 
     @classmethod
     def from_json(cls, label: str, date: str, data: dict) -> "Sample":
         admission = data.get("admission", {}).get("1000", {})
         batch = data.get("admission_batch", {}).get("1000", {})
+        placement = data.get("lb_placement_batch", {}).get("1000", {})
         ledger = data.get("ledger_sharded", {})
+        distributed = data.get("distributed_round", {})
         return cls(
             label=label,
             date=date,
@@ -58,7 +63,10 @@ class Sample:
             incremental_speedup_1000=admission.get("speedup"),
             batch_1000=batch.get("batch_tests_per_sec"),
             batch_speedup_1000=batch.get("speedup"),
+            placement_1000=placement.get("batch_placements_per_sec"),
+            placement_speedup_1000=placement.get("speedup"),
             ledger_batch_ops=ledger.get("batch_ops_per_sec"),
+            round_reduction=distributed.get("round_reduction"),
         )
 
 
@@ -150,8 +158,9 @@ def render(samples: List[Sample]) -> str:
     peak = max(s.incremental_1000 or 0.0 for s in samples)
     lines += [
         "| commit | date | kernel ev/s | incr tests/s | vs naive "
-        "| batch tests/s | vs per-arrival | ledger batch ops/s | trend |",
-        "|---|---|---:|---:|---:|---:|---:|---:|:---|",
+        "| batch tests/s | vs per-arrival | LB plans/s | vs probe "
+        "| ledger batch ops/s | rounds saved | trend |",
+        "|---|---|---:|---:|---:|---:|---:|---:|---:|---:|---:|:---|",
     ]
     for s in samples:
         lines.append(
@@ -161,13 +170,17 @@ def render(samples: List[Sample]) -> str:
             f"| {_fmt_x(s.incremental_speedup_1000)} "
             f"| {_fmt(s.batch_1000)} "
             f"| {_fmt_x(s.batch_speedup_1000)} "
+            f"| {_fmt(s.placement_1000)} "
+            f"| {_fmt_x(s.placement_speedup_1000)} "
             f"| {_fmt(s.ledger_batch_ops)} "
+            f"| {_fmt_x(s.round_reduction)} "
             f"| {_bar(s.incremental_1000, peak)} |"
         )
     lines += [
         "",
         "Columns missing in old samples (batched admission, sharded",
-        "ledger) predate the corresponding benchmark sections.",
+        "ledger, batched LB placement, piggybacked coordination rounds)",
+        "predate the corresponding benchmark sections.",
         "",
     ]
     return "\n".join(lines)

@@ -1,6 +1,7 @@
 """Benchmark: hot-path microbenchmarks — kernel throughput, admission
 tests/sec (incremental vs naive), burst admission (batched vs
-per-arrival), and sharded-ledger churn.
+per-arrival), load-balanced burst placement (batch session vs
+per-candidate probing), and sharded-ledger churn.
 
 Tracks the perf trajectory of the paths that dominate paper-scale
 wall-clock:
@@ -15,15 +16,19 @@ wall-clock:
   simultaneous arrivals (test + ledger commit + registration) through the
   per-arrival incremental path vs one ``admissible_batch`` call plus one
   ``add_batch`` commit.
+* **LB burst placement** — greedy placement + admission of the same burst
+  through the sequential path (per-candidate ``location()`` probe, double
+  admission test, interim ledger commits) vs one
+  :class:`BatchAdmissionSession` with its accepted-placement overlay.
 * **Sharded ledger** — contribution add/remove churn across a
   1000-processor ledger, scalar ops vs batched ops.
 
 Prints a table and writes ``BENCH_hotpath.json`` at the repo root so the
 numbers are comparable across PRs (``benchmarks/plot_trajectory.py``
 collects them into ``docs/BENCH_TRAJECTORY.md``).  Acceptance floors
-asserted here: incremental admission >= 5x naive, and batched burst
-admission >= 3x the per-arrival incremental path, both at 1000 registered
-tasks.
+asserted here: incremental admission >= 5x naive, batched burst
+admission >= 3x the per-arrival incremental path, and batched placement
+>= 3x per-candidate probing, all at 1000 registered tasks.
 
 ``REPRO_BENCH_HOTPATH_SCALES`` (comma-separated task counts) reduces the
 grid for smoke runs; floors only apply when their scale is measured.
@@ -35,12 +40,14 @@ import random
 import time
 from pathlib import Path
 
+from repro.core.load_balancer import LoadBalancerComponent
 from repro.sched.aub import (
     AubAnalyzer,
     BatchCandidate,
     NaiveAubAnalyzer,
     SyntheticUtilizationLedger,
 )
+from repro.sched.task import Job, SubtaskSpec, TaskKind, TaskSpec
 from repro.sim.kernel import Simulator
 
 REPO_ROOT = Path(__file__).resolve().parents[1]
@@ -222,6 +229,151 @@ def _measure_burst(admit, n_tasks: int, duration_s: float = WINDOW_S):
 
 
 # ----------------------------------------------------------------------
+# LB burst placement: per-candidate probing vs batch session
+# ----------------------------------------------------------------------
+def _placement_jobs(nodes, rng, burst: int):
+    """A burst of jobs whose stages each have a handful of eligible
+    processors, light enough that placements are mostly admitted."""
+    jobs = []
+    for i in range(burst):
+        n_stages = rng.randint(1, 3)
+        subtasks = []
+        for j in range(n_stages):
+            eligible = rng.sample(nodes, min(4, len(nodes)))
+            subtasks.append(
+                SubtaskSpec(
+                    index=j,
+                    execution_time=0.001,
+                    home=eligible[0],
+                    replicas=tuple(eligible[1:]),
+                )
+            )
+        task = TaskSpec(
+            task_id=f"B{i}",
+            kind=TaskKind.PERIODIC,
+            deadline=1.0,
+            subtasks=tuple(subtasks),
+            period=1.0,
+        )
+        jobs.append(
+            Job(
+                task=task,
+                index=0,
+                arrival_time=0.0,
+                arrival_node=subtasks[0].home,
+            )
+        )
+    return jobs
+
+
+def _place_burst_per_candidate(ledger, analyzer, lb, jobs):
+    """The pre-batch LB path: greedy-plan against the live ledger, probe
+    admissibility in location(), re-test in the AC's test-and-commit,
+    commit per stage — every commit invalidating the analyzer caches."""
+    plans = []
+    committed = []
+    for job in jobs:
+        task = job.task
+        assignment, added = lb._greedy_plan(task, ledger)
+        visits = task.visited_processors(assignment)
+        ok = analyzer.admissible(visits, added, now=0.0)
+        if ok:
+            contribs = {}
+            for subtask in task.subtasks:
+                node = assignment[subtask.index]
+                contribs[node] = contribs.get(
+                    node, 0.0
+                ) + task.subtask_utilization(subtask.index)
+            ok = analyzer.admissible(visits, contribs, now=0.0)
+        plans.append(assignment if ok else None)
+        if not ok:
+            continue
+        key = (task.task_id, job.index)
+        entries = []
+        for subtask in task.subtasks:
+            contrib_key = (task.task_id, job.index, subtask.index)
+            ledger.add(
+                assignment[subtask.index],
+                contrib_key,
+                task.subtask_utilization(subtask.index),
+            )
+            entries.append((assignment[subtask.index], contrib_key))
+        analyzer.register(key, visits, expiry=1e12)
+        committed.append((key, entries))
+    return plans, committed
+
+
+def _place_burst_batched(ledger, analyzer, lb, jobs):
+    """The batched LB path: one admission session (screened by the
+    burst's worst-case demand envelope), one add_batch commit."""
+    demand = {}
+    for job in jobs:
+        task = job.task
+        for subtask in task.subtasks:
+            value = task.subtask_utilization(subtask.index)
+            for node in subtask.eligible:
+                demand[node] = demand.get(node, 0.0) + value
+    session = analyzer.batch_session(now=0.0, demand=demand)
+    plans = [lb.location_in_batch(job, session) for job in jobs]
+    add_entries = []
+    committed = []
+    for job, plan in zip(jobs, plans):
+        if plan is None:
+            continue
+        task = job.task
+        key = (task.task_id, job.index)
+        entries = []
+        for subtask in task.subtasks:
+            contrib_key = (task.task_id, job.index, subtask.index)
+            add_entries.append(
+                (
+                    plan[subtask.index],
+                    contrib_key,
+                    task.subtask_utilization(subtask.index),
+                )
+            )
+            entries.append((plan[subtask.index], contrib_key))
+        committed.append((key, entries))
+    ledger.add_batch(add_entries)
+    for job, plan in zip(jobs, plans):
+        if plan is not None:
+            task = job.task
+            analyzer.register(
+                (task.task_id, job.index),
+                task.visited_processors(plan),
+                expiry=1e12,
+            )
+    return plans, committed
+
+
+def _measure_placement(place, n_tasks: int, duration_s: float = WINDOW_S):
+    """Placements/sec for repeated load-balanced bursts of BURST jobs.
+
+    Same regime and clock discipline as :func:`_measure_burst`: light
+    budget so plans are admitted (the full plan + test + commit path is
+    measured), undo off the clock."""
+    ledger, analyzer, nodes, rng = _populate(
+        AubAnalyzer, n_tasks, budget_per_node=0.2
+    )
+    lb = LoadBalancerComponent("bench-lb", None)
+    jobs = _placement_jobs(nodes, rng, BURST)
+    count = 0
+    elapsed = 0.0
+    plans = None
+    while elapsed < duration_s:
+        start = time.perf_counter()
+        plans, committed = place(ledger, analyzer, lb, jobs)
+        elapsed += time.perf_counter() - start
+        count += len(jobs)
+        _undo_burst(ledger, analyzer, committed)
+        analyzer._refresh_dirty()
+    assert plans and all(plan is not None for plan in plans), (
+        "placement benchmark must run in the admitting regime"
+    )
+    return count / elapsed, plans
+
+
+# ----------------------------------------------------------------------
 # Sharded-ledger churn
 # ----------------------------------------------------------------------
 def _measure_ledger(batched: bool, n_nodes: int = 1000,
@@ -294,6 +446,7 @@ def test_bench_hotpath():
 
     admission = {}
     admission_batch = {}
+    lb_placement_batch = {}
     for n_tasks in SCALES:
         naive_rate = _measure_admission(NaiveAubAnalyzer, n_tasks)
         incremental_rate = _measure_admission(AubAnalyzer, n_tasks)
@@ -315,6 +468,20 @@ def test_bench_hotpath():
             "per_arrival_tests_per_sec": per_arrival_rate,
             "batch_tests_per_sec": batch_rate,
             "speedup": batch_rate / per_arrival_rate,
+        }
+        probe_rate, seq_plans = _measure_placement(
+            _place_burst_per_candidate, n_tasks
+        )
+        session_rate, batch_plans = _measure_placement(
+            _place_burst_batched, n_tasks
+        )
+        # The placement paths must agree on every plan of the burst.
+        assert batch_plans == seq_plans
+        lb_placement_batch[str(n_tasks)] = {
+            "burst": BURST,
+            "per_candidate_placements_per_sec": probe_rate,
+            "batch_placements_per_sec": session_rate,
+            "speedup": session_rate / probe_rate,
         }
 
     ledger_sharded = {
@@ -353,6 +520,21 @@ def test_bench_hotpath():
             f"  {n_tasks:>6} | {row['per_arrival_tests_per_sec']:>20,.0f} | "
             f"{row['batch_tests_per_sec']:>16,.0f} | {row['speedup']:>7.1f}x"
         )
+    header = (
+        f"  {'tasks':>6} | {'per-candidate plans/s':>22} | "
+        f"{'batched plans/s':>16} | {'speedup':>8}"
+    )
+    print(f"  LB burst placement (bursts of {BURST} jobs, commits included)")
+    print(header)
+    print("  " + "-" * (len(header) - 2))
+    for n_tasks in SCALES:
+        row = lb_placement_batch[str(n_tasks)]
+        print(
+            f"  {n_tasks:>6} | "
+            f"{row['per_candidate_placements_per_sec']:>22,.0f} | "
+            f"{row['batch_placements_per_sec']:>16,.0f} | "
+            f"{row['speedup']:>7.1f}x"
+        )
     print(
         f"  sharded ledger churn    : "
         f"{ledger_sharded['scalar_ops_per_sec']:,.0f} scalar ops/s, "
@@ -360,18 +542,24 @@ def test_bench_hotpath():
         f"({ledger_sharded['batch_speedup']:.1f}x)"
     )
 
-    RESULT_FILE.write_text(
-        json.dumps(
-            {
-                "kernel_events_per_sec": kernel_rate,
-                "admission": admission,
-                "admission_batch": admission_batch,
-                "ledger_sharded": ledger_sharded,
-            },
-            indent=2,
-        )
-        + "\n"
+    # Merge over any existing artifact so sections written by other
+    # benchmarks (e.g. distributed_round) survive regardless of order.
+    record = {}
+    if RESULT_FILE.exists():
+        try:
+            record = json.loads(RESULT_FILE.read_text())
+        except json.JSONDecodeError:
+            record = {}
+    record.update(
+        {
+            "kernel_events_per_sec": kernel_rate,
+            "admission": admission,
+            "admission_batch": admission_batch,
+            "lb_placement_batch": lb_placement_batch,
+            "ledger_sharded": ledger_sharded,
+        }
     )
+    RESULT_FILE.write_text(json.dumps(record, indent=2) + "\n")
     print(f"  wrote {RESULT_FILE.name}")
 
     if "1000" in admission:
@@ -385,6 +573,12 @@ def test_bench_hotpath():
             f"burst-of-{BURST} admission must be >= 3x the per-arrival "
             f"path at 1000 registered tasks, got "
             f"{admission_batch['1000']['speedup']:.1f}x"
+        )
+        # Batch placement must dominate per-candidate location() probing.
+        assert lb_placement_batch["1000"]["speedup"] >= 3.0, (
+            f"burst-of-{BURST} placement must be >= 3x per-candidate "
+            f"probing at 1000 registered tasks, got "
+            f"{lb_placement_batch['1000']['speedup']:.1f}x"
         )
     if "10" in admission:
         # Sanity: never slower even at small scale.

@@ -1,3 +1,12 @@
-from setuptools import setup
+from setuptools import find_packages, setup
 
-setup()
+setup(
+    name="repro",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+    # The core install is dependency-free pure Python.  numpy only
+    # accelerates the bulk f(U) evaluation on large batches; decisions
+    # are bit-identical either way (see docs/PERFORMANCE.md).
+    extras_require={"fast": ["numpy"]},
+)

@@ -468,7 +468,11 @@ class Scenario:
     arrival_stream: str = "arrivals"
     #: Batched hot path: deliver simultaneous arrivals as kernel batches
     #: and let the admission layer drain its arrival queue through one
-    #: admissible_batch call per burst (Burst disturbances exercise it).
+    #: batched decision pass per burst (Burst disturbances exercise it).
+    #: Composes with every strategy combo — load-balanced combos plan
+    #: placements through a batch session, and the distributed engine
+    #: piggybacks the burst onto one coordination round — and with both
+    #: engines that have an admission controller.
     arrival_batching: bool = False
     disturbances: Tuple[Disturbance, ...] = ()
     trace: bool = False

@@ -31,8 +31,18 @@ cache refresh, shared hypothetical totals, and a single ledger
 arrival still pays its own sampled admission cost on the dispatch thread
 (CPU accounting is unchanged); what batching amortizes is the analyzer
 bookkeeping and the decision latency of arrivals queued behind the first.
-Load-balanced configurations fall back to per-arrival decisions because
-an LB placement must observe the commits of the arrivals ahead of it.
+
+Load-balanced configurations batch too: placements are planned and
+tested against one analyzer batch session per burst
+(:meth:`~repro.sched.aub.AubAnalyzer.batch_session`), whose overlay
+plays the role of the interim ledger commits each placement must
+observe, so decisions stay bit-identical to the per-arrival path while
+the burst commits through a single ledger ``add_batch``.  Only two
+cases re-enter the sequential flow mid-burst (after flushing the open
+batch segment, so ordering is preserved): a later job of a periodic
+task whose first job is still undecided in the same burst, and — under
+AC-per-task + LB-per-job — a cached-accept arrival that may *relocate*
+the live reservation, a ledger mutation later decisions must see.
 """
 
 from __future__ import annotations
@@ -298,6 +308,9 @@ class AdmissionControllerComponent(Component):
         self._arrival_queue = []
         self.batch_calls += 1
         self.batched_arrivals += len(events)
+        if self.lb_enabled:
+            self._drain_arrivals_lb(events)
+            return
         now = self.sim.now
         pending: List[Tuple[TaskArriveEvent, TaskRecord, bool]] = []
         #: Periodic tasks whose first (reserving) job is in ``pending``.
@@ -317,11 +330,6 @@ class AdmissionControllerComponent(Component):
             if triage is None:
                 continue
             record, per_task_ac = triage
-            if self.lb_enabled:
-                # An LB placement must see the commits of the arrivals
-                # decided ahead of it, so these stay sequential.
-                self._admit_fresh(event, record, per_task_ac, now)
-                continue
             if per_task_ac:
                 reserving.add(task.task_id)
             pending.append((event, record, per_task_ac))
@@ -333,6 +341,118 @@ class AdmissionControllerComponent(Component):
             # job expired before deciding, as a fresh admission — the
             # same state the sequential path would see).
             self._decide(event)
+
+    def _drain_arrivals_lb(self, events: List[TaskArriveEvent]) -> None:
+        """Batched drain for load-balanced combos.
+
+        Placements are planned and tested against one analyzer batch
+        session: the session overlay stands in for the interim ledger
+        commits the sequential path interleaves between arrivals, so
+        plans and decisions are bit-identical to deciding each arrival
+        alone.  Two cases must leave the batch to preserve sequential
+        ordering — a later job of a periodic task whose first (reserving)
+        job sits in the open segment, and, under AC-per-task +
+        LB-per-job, a cached-accept arrival that may *relocate* the live
+        reservation (a ledger mutation every later decision must
+        observe).  Both flush the open segment first and then re-enter
+        the sequential flow, which sees exactly the state the per-arrival
+        path would have built.
+        """
+        now = self.sim.now
+        relocating = (
+            self.get_attribute("ac_strategy") == "T"
+            and self.get_attribute("lb_strategy") == "J"
+        )
+        segment: List[Tuple[TaskArriveEvent, TaskRecord, bool]] = []
+        #: Periodic tasks whose first (reserving) job is in ``segment``.
+        reserving: set = set()
+
+        def flush() -> None:
+            if segment:
+                self._admit_segment_lb(segment, now)
+                segment.clear()
+            reserving.clear()
+
+        for event in events:
+            task = event.job.task
+            if task.task_id in reserving:
+                flush()
+                self._decide(event)
+                continue
+            if relocating and task.is_periodic:
+                record = self._records.get(task.task_id)
+                if record is not None and record.admitted:
+                    # Cached accept that may relocate the reservation.
+                    flush()
+                    self._decide(event)
+                    continue
+            triage = self._triage(event, now)
+            if triage is None:
+                continue
+            record, per_task_ac = triage
+            if per_task_ac:
+                reserving.add(task.task_id)
+            segment.append((event, record, per_task_ac))
+        flush()
+
+    def _admit_segment_lb(
+        self,
+        segment: List[Tuple[TaskArriveEvent, TaskRecord, bool]],
+        now: float,
+    ) -> None:
+        """Plan and decide one contiguous run of fresh LB admissions
+        through a single analyzer batch session."""
+        locator = self._locator()
+        lb = self.get_attribute("lb_strategy")
+        # Worst-case demand envelope: every stage of every queued arrival
+        # counted on each processor it could be placed on.  Placements
+        # chosen below always stay inside it (plans pick from eligible
+        # sets; pinned assignments were themselves LB plans), which lets
+        # the session screen out registered tasks that no placement of
+        # this burst can push over the bound.
+        demand: Dict[str, float] = {}
+        for event, _record, _per_task_ac in segment:
+            task = event.job.task
+            for subtask in task.subtasks:
+                value = task.subtask_utilization(subtask.index)
+                for node in subtask.eligible:
+                    demand[node] = demand.get(node, 0.0) + value
+        session = self.analyzer.batch_session(now, demand)
+        decided: List[
+            Tuple[TaskArriveEvent, Optional[Dict[int, str]], bool, bool]
+        ] = []
+        for event, record, per_task_ac in segment:
+            job = event.job
+            task = job.task
+            if lb == "T" and task.is_periodic and record.assignment is not None:
+                # Pinned per-task placement: no Location call, just the
+                # admission test (the sequential path's test-and-commit).
+                assignment = record.assignment
+                admitted = session.try_admit(
+                    BatchCandidate(
+                        task.visited_processors(assignment),
+                        [
+                            (
+                                assignment[s.index],
+                                task.subtask_utilization(s.index),
+                            )
+                            for s in task.subtasks
+                        ],
+                    )
+                )
+            else:
+                assignment = locator.location_in_batch(job, session)
+                admitted = assignment is not None
+            # Records update inside the loop (not after the batch): a
+            # later arrival in this very segment may depend on them — the
+            # LB-per-task pin, the AC-per-task cached decision.
+            if per_task_ac:
+                record.admitted = admitted
+                record.assignment = assignment if admitted else None
+            if admitted and lb == "T" and task.is_periodic:
+                record.assignment = assignment
+            decided.append((event, assignment, per_task_ac, admitted))
+        self._finalize_batch(decided, now)
 
     def _admit_batch(
         self,
@@ -356,35 +476,50 @@ class AdmissionControllerComponent(Component):
                 )
             )
         decisions = self.analyzer.admissible_batch(candidates, now)
-        # One ledger commit for the whole burst: stage contributions in
-        # candidate order (bit-identical floats to per-arrival commits),
-        # one change notification per touched node.
-        add_entries = []
+        decided: List[
+            Tuple[TaskArriveEvent, Optional[Dict[int, str]], bool, bool]
+        ] = []
         for (event, record, per_task_ac), assignment, admitted in zip(
             pending, assignments, decisions
         ):
-            job = event.job
-            task = job.task
-            if admitted:
-                job_index = RESERVED if per_task_ac else job.index
-                for subtask in task.subtasks:
-                    add_entries.append(
-                        (
-                            assignment[subtask.index],
-                            (task.task_id, job_index, subtask.index),
-                            task.subtask_utilization(subtask.index),
-                        )
-                    )
-        if add_entries:
-            self.ledger.add_batch(add_entries, now)
-        for (event, record, per_task_ac), assignment, admitted in zip(
-            pending, assignments, decisions
-        ):
-            job = event.job
-            task = job.task
             if per_task_ac:
                 record.admitted = admitted
                 record.assignment = assignment if admitted else None
+            decided.append((event, assignment, per_task_ac, admitted))
+        self._finalize_batch(decided, now)
+
+    def _finalize_batch(
+        self,
+        decided: List[Tuple[TaskArriveEvent, Optional[Dict[int, str]], bool, bool]],
+        now: float,
+    ) -> None:
+        """Commit and publish a batch of decisions.
+
+        One ledger commit for the whole burst: stage contributions in
+        decision order (bit-identical floats to per-arrival commits),
+        one change notification per touched node — then register, expiry
+        scheduling, and Accept/Reject publication per arrival.
+        """
+        add_entries = []
+        for event, assignment, per_task_ac, admitted in decided:
+            if not admitted:
+                continue
+            job = event.job
+            task = job.task
+            job_index = RESERVED if per_task_ac else job.index
+            for subtask in task.subtasks:
+                add_entries.append(
+                    (
+                        assignment[subtask.index],
+                        (task.task_id, job_index, subtask.index),
+                        task.subtask_utilization(subtask.index),
+                    )
+                )
+        if add_entries:
+            self.ledger.add_batch(add_entries, now)
+        for event, assignment, per_task_ac, admitted in decided:
+            job = event.job
+            task = job.task
             if not admitted:
                 self._send_reject(event, "AUB condition (1) would be violated")
                 continue

@@ -30,6 +30,14 @@ matter what other coordinators admit — at the price of conservatism
 per admission.  The ablation benchmark quantifies both penalties against
 the paper's centralized design.
 
+Under arrival batching (``Scenario.arrival_batching``), a coordinator
+drains its queued burst into one **piggybacked** round: a single
+multi-reservation transaction whose participants vote on every
+reservation of the burst against one local snapshot (per-item votes,
+per-reservation locks/expiry/abort).  A burst then costs one two-phase
+round instead of one per reservation, with decisions bit-identical to
+the one-round-per-reservation path (property-tested).
+
 Scope: this extension prototype supports AC-per-job with no idle
 resetting and no load balancing (home assignments), the configuration
 where the admission mathematics dominates.
@@ -65,6 +73,11 @@ TOPIC_RESERVE = "dac_reserve"
 TOPIC_VOTE = "dac_vote"
 TOPIC_COMMIT = "dac_commit"
 TOPIC_ABORT = "dac_abort"
+#: Piggybacked (multi-reservation) variants: one message per participant
+#: per *round* instead of per reservation (arrival batching only).
+TOPIC_RESERVE_BATCH = "dac_reserve_batch"
+TOPIC_VOTE_BATCH = "dac_vote_batch"
+TOPIC_COMMIT_BATCH = "dac_commit_batch"
 
 
 @dataclass(frozen=True)
@@ -99,6 +112,46 @@ class Outcome:
     expiry: float = 0.0
 
 
+@dataclass(frozen=True)
+class ReserveItem:
+    """One reservation inside a piggybacked multi-reservation round."""
+
+    index: int
+    job_key: Tuple[str, int]
+    delta: float
+    expiry: float
+
+
+@dataclass(frozen=True)
+class BatchReserveRequest:
+    """Phase 1 of a piggybacked round: every reservation of the burst
+    that involves this participant, in burst order."""
+
+    txn: int
+    coordinator: str
+    items: Tuple[ReserveItem, ...]
+
+
+@dataclass(frozen=True)
+class BatchVote:
+    """Participant reply: one grant (with post-lock utilization) per
+    item, aligned with the request's ``items``."""
+
+    txn: int
+    node: str
+    granted: Tuple[bool, ...]
+    post_utilization: Tuple[float, ...]
+
+
+@dataclass(frozen=True)
+class BatchOutcome:
+    """Phase 2 of a piggybacked round: per-reservation commit/abort
+    outcomes for this participant, aligned with its request ``items``."""
+
+    txn: int
+    items: Tuple[Outcome, ...]
+
+
 @dataclass
 class _Transaction:
     """Coordinator-side state of one in-flight admission."""
@@ -108,6 +161,27 @@ class _Transaction:
     participants: List[str]
     deltas: Dict[str, float]
     votes: Dict[str, Vote] = field(default_factory=dict)
+
+
+@dataclass
+class _BatchItem:
+    """One burst arrival inside a coordinator's piggybacked round."""
+
+    job: Job
+    event: TaskArriveEvent
+    participants: List[str]
+    deltas: Dict[str, float]
+
+
+@dataclass
+class _BatchTransaction:
+    """Coordinator-side state of one in-flight piggybacked round."""
+
+    items: List[_BatchItem]
+    participants: List[str]
+    #: participant -> the burst indices sent to it, in burst order.
+    sent: Dict[str, List[int]]
+    votes: Dict[str, BatchVote] = field(default_factory=dict)
 
 
 class DistributedAdmissionControllerComponent(Component):
@@ -121,8 +195,11 @@ class DistributedAdmissionControllerComponent(Component):
             bool,
             default=False,
             doc="Drain queued simultaneous arrivals in one dispatch pass "
-            "(coordination rounds stay per-transaction: the two-phase "
-            "protocol votes on each reservation independently).",
+            "and piggyback them onto a single multi-reservation "
+            "coordination round: participants vote on the whole burst "
+            "against one local snapshot (per-item votes, per-reservation "
+            "expiry/abort), so a burst costs one two-phase round instead "
+            "of one per reservation.",
         ),
     }
 
@@ -135,8 +212,9 @@ class DistributedAdmissionControllerComponent(Component):
         self._arrival_queue: List[TaskArriveEvent] = []
         #: Live local contributions: job key -> utilization on this node.
         self._contribs: Dict[Tuple[str, int], float] = {}
-        #: Pending phase-1 locks: txn -> utilization.
-        self._locks: Dict[int, float] = {}
+        #: Pending phase-1 locks: txn (scalar rounds) or (txn, job key)
+        #: (piggybacked rounds) -> locked utilization.
+        self._locks: Dict[object, float] = {}
         #: Running committed + locked total, maintained incrementally so
         #: the hot admission path never re-sums the contribution maps.
         self._total: float = 0.0
@@ -147,11 +225,15 @@ class DistributedAdmissionControllerComponent(Component):
         #: scanning every live cap per reservation.
         self._cap_heap: List[Tuple[float, Tuple[str, int]]] = []
         self._transactions: Dict[int, _Transaction] = {}
+        self._batch_transactions: Dict[int, _BatchTransaction] = {}
         self._source: Optional[EventSourcePort] = None
         self._thread = None
         self.admitted_jobs = 0
         self.rejected_jobs = 0
         self.reserve_messages = 0
+        #: Two-phase rounds initiated: one per transaction on the scalar
+        #: path, one per drained burst on the piggybacked path.
+        self.coordination_rounds = 0
         self.batch_calls = 0
         self.batched_arrivals = 0
 
@@ -189,6 +271,15 @@ class DistributedAdmissionControllerComponent(Component):
         EventSinkPort(self, "reserve", self._on_reserve).subscribe(TOPIC_RESERVE)
         EventSinkPort(self, "vote", self._on_vote).subscribe(TOPIC_VOTE)
         EventSinkPort(self, "outcome", self._on_outcome).subscribe(TOPIC_COMMIT)
+        EventSinkPort(self, "reserve_batch", self._on_batch_reserve).subscribe(
+            TOPIC_RESERVE_BATCH
+        )
+        EventSinkPort(self, "vote_batch", self._on_batch_vote).subscribe(
+            TOPIC_VOTE_BATCH
+        )
+        EventSinkPort(self, "outcome_batch", self._on_batch_outcome).subscribe(
+            TOPIC_COMMIT_BATCH
+        )
 
     def on_activate(self) -> None:
         if self.get_attribute("processor_id") != self.node:
@@ -216,14 +307,76 @@ class DistributedAdmissionControllerComponent(Component):
         )
 
     def _drain_arrivals(self, _payload=None) -> None:
+        """Pack the queued burst into one piggybacked coordination round.
+
+        One multi-reservation transaction replaces one two-phase round
+        per reservation: each participant receives a single
+        :class:`BatchReserveRequest` carrying every reservation of the
+        burst that involves it (in burst order) and votes on the batch
+        against one local snapshot.  Per-reservation semantics —
+        expiry, abort, caps — are unchanged; decisions are bit-identical
+        to running one round per reservation, because the sequential
+        rounds' reserve requests all land before any outcome returns (so
+        each vote already sees the locks of the reservations ahead of
+        it, exactly as the packed vote loop does).
+        """
         events = self._arrival_queue
         if not events:
             return
         self._arrival_queue = []
         self.batch_calls += 1
         self.batched_arrivals += len(events)
+        now = self.sim.now
+        items: List[_BatchItem] = []
         for event in events:
-            self._coordinate(event)
+            job = event.job
+            if job.absolute_deadline <= now:
+                self._reject(event, "deadline expired before admission")
+                continue
+            task = job.task
+            assignment = task.home_assignment()
+            deltas: Dict[str, float] = {}
+            for subtask in task.subtasks:
+                node = assignment[subtask.index]
+                deltas[node] = deltas.get(node, 0.0) + task.subtask_utilization(
+                    subtask.index
+                )
+            items.append(
+                _BatchItem(
+                    job=job,
+                    event=event,
+                    participants=sorted(deltas),
+                    deltas=deltas,
+                )
+            )
+        if not items:
+            return
+        txn = next(self._txn_counter)
+        sent: Dict[str, List[int]] = {}
+        for index, item in enumerate(items):
+            for node in item.participants:
+                sent.setdefault(node, []).append(index)
+        participants = sorted(sent)
+        self._batch_transactions[txn] = _BatchTransaction(
+            items=items, participants=participants, sent=sent
+        )
+        self.coordination_rounds += 1
+        for node in participants:
+            request = BatchReserveRequest(
+                txn=txn,
+                coordinator=self.node,
+                items=tuple(
+                    ReserveItem(
+                        index=i,
+                        job_key=items[i].job.key,
+                        delta=items[i].deltas[node],
+                        expiry=items[i].job.absolute_deadline,
+                    )
+                    for i in sent[node]
+                ),
+            )
+            self.reserve_messages += 1
+            self._source.push(node, TOPIC_RESERVE_BATCH, request)
 
     def _coordinate(self, event: TaskArriveEvent) -> None:
         job = event.job
@@ -247,6 +400,7 @@ class DistributedAdmissionControllerComponent(Component):
             deltas=deltas,
         )
         self._transactions[txn] = transaction
+        self.coordination_rounds += 1
         for node in transaction.participants:
             request = ReserveRequest(
                 txn=txn,
@@ -321,6 +475,88 @@ class DistributedAdmissionControllerComponent(Component):
             ),
         )
 
+    def _on_batch_vote(self, vote: BatchVote) -> None:
+        transaction = self._batch_transactions.get(vote.txn)
+        if transaction is None:
+            return
+        transaction.votes[vote.node] = vote
+        if len(transaction.votes) < len(transaction.participants):
+            return
+        del self._batch_transactions[vote.txn]
+        self._finish_batch_transaction(vote.txn, transaction)
+
+    def _finish_batch_transaction(
+        self, txn: int, transaction: _BatchTransaction
+    ) -> None:
+        """Decide every reservation of the round in burst order; the math
+        per item is the scalar :meth:`_finish_transaction` verbatim."""
+        n_items = len(transaction.items)
+        # Re-key the per-participant vote vectors by burst index.
+        grants: List[Dict[str, bool]] = [{} for _ in range(n_items)]
+        posts: List[Dict[str, float]] = [{} for _ in range(n_items)]
+        for node, vote in transaction.votes.items():
+            for pos, index in enumerate(transaction.sent[node]):
+                grants[index][node] = vote.granted[pos]
+                posts[index][node] = vote.post_utilization[pos]
+        outcomes: Dict[str, List[Outcome]] = {
+            node: [] for node in transaction.participants
+        }
+        for index, item in enumerate(transaction.items):
+            job = item.job
+            task = job.task
+            assignment = task.home_assignment()
+            all_granted = all(
+                grants[index].get(node, False) for node in item.participants
+            )
+            condition_sum = 0.0
+            if all_granted:
+                post = posts[index]
+                condition_sum = sum(
+                    aub_term(post[assignment[s.index]]) for s in task.subtasks
+                )
+                all_granted = condition_sum <= 1.0 + EPSILON
+            if not all_granted:
+                for node in item.participants:
+                    outcomes[node].append(
+                        Outcome(txn=txn, job_key=job.key, commit=False)
+                    )
+                self._reject(item.event, "reserve phase refused")
+                continue
+            # Partition the residual slack equally among visited
+            # processors, exactly as the scalar round does.
+            k = len(item.participants)
+            slack_share = (1.0 - condition_sum) / k
+            for node in item.participants:
+                post_u = posts[index][node]
+                cap = aub_term_inverse(aub_term(post_u) + max(0.0, slack_share))
+                outcomes[node].append(
+                    Outcome(
+                        txn=txn,
+                        job_key=job.key,
+                        commit=True,
+                        cap=cap,
+                        expiry=job.absolute_deadline,
+                    )
+                )
+            self.admitted_jobs += 1
+            release_node = assignment[0]
+            self._source.push(
+                release_node,
+                accept_topic(release_node),
+                AcceptEvent(
+                    job=job,
+                    assignment=assignment,
+                    arrival_node=item.event.arrival_node,
+                    release_node=release_node,
+                ),
+            )
+        for node in transaction.participants:
+            self._source.push(
+                node,
+                TOPIC_COMMIT_BATCH,
+                BatchOutcome(txn=txn, items=tuple(outcomes[node])),
+            )
+
     def _reject(self, event: TaskArriveEvent, reason: str) -> None:
         self.rejected_jobs += 1
         self._source.push(
@@ -353,10 +589,56 @@ class DistributedAdmissionControllerComponent(Component):
         )
         self._source.push(request.coordinator, TOPIC_VOTE, vote)
 
+    def _on_batch_reserve(self, request: BatchReserveRequest) -> None:
+        # One admission-test cost per reservation, as the scalar rounds
+        # charge — piggybacking saves messages, not admission math.
+        cost = sum(
+            self.env.cost_model.sample(OP_ADMISSION_TEST, self.env.cost_rng)
+            for _ in request.items
+        )
+        self.processor.submit(
+            self._thread, WorkItem(cost, self._vote_on_batch, request)
+        )
+
+    def _vote_on_batch(self, request: BatchReserveRequest) -> None:
+        """Per-item votes against one local snapshot: each granted item's
+        lock is visible to the items after it, exactly as the sequential
+        one-round-per-reservation path (whose reserve requests all land
+        before any outcome returns) evaluates them."""
+        granted: List[bool] = []
+        post: List[float] = []
+        for item in request.items:
+            ok = self._locally_admissible(item.delta)
+            if ok:
+                self._locks[(request.txn, item.job_key)] = item.delta
+                self._total += item.delta
+            granted.append(ok)
+            post.append(self.utilization if ok else 0.0)
+        self._source.push(
+            request.coordinator,
+            TOPIC_VOTE_BATCH,
+            BatchVote(
+                txn=request.txn,
+                node=self.node,
+                granted=tuple(granted),
+                post_utilization=tuple(post),
+            ),
+        )
+
     def _on_outcome(self, outcome: Outcome) -> None:
         locked = self._locks.pop(outcome.txn, None)
         if locked is None:
             return
+        self._apply_outcome(outcome, locked)
+
+    def _on_batch_outcome(self, batch: BatchOutcome) -> None:
+        for outcome in batch.items:
+            locked = self._locks.pop((batch.txn, outcome.job_key), None)
+            if locked is None:
+                continue
+            self._apply_outcome(outcome, locked)
+
+    def _apply_outcome(self, outcome: Outcome, locked: float) -> None:
         if not outcome.commit:
             self._total -= locked
             if not self._locks and not self._contribs:
@@ -493,6 +775,9 @@ class DistributedMiddlewareSystem:
             admitted_jobs=sum(ac.admitted_jobs for ac in self.acs.values()),
             rejected_jobs=sum(ac.rejected_jobs for ac in self.acs.values()),
             reserve_messages=sum(ac.reserve_messages for ac in self.acs.values()),
+            coordination_rounds=sum(
+                ac.coordination_rounds for ac in self.acs.values()
+            ),
             messages_sent=self.network.messages_sent,
             final_utilization={n: ac.utilization for n, ac in self.acs.items()},
         )
@@ -510,6 +795,9 @@ class DistributedRunResults:
     reserve_messages: int
     messages_sent: int
     final_utilization: Dict[str, float]
+    #: Two-phase rounds initiated across all coordinators (piggybacked
+    #: rounds count once per burst, not once per reservation).
+    coordination_rounds: int = 0
 
     @property
     def accepted_utilization_ratio(self) -> float:

@@ -23,7 +23,7 @@ from repro.ccm.component import AttributeSpec, Component
 from repro.ccm.ports import Facet, Receptacle
 from repro.core.runtime import RuntimeEnv
 from repro.errors import ComponentError
-from repro.sched.aub import RESERVED
+from repro.sched.aub import RESERVED, BatchAdmissionSession, BatchCandidate
 from repro.sched.task import Job, TaskSpec
 
 
@@ -96,6 +96,36 @@ class LoadBalancerComponent(Component):
         self.plans_returned += 1
         return assignment
 
+    def location_in_batch(
+        self, job: Job, session: BatchAdmissionSession
+    ) -> Optional[Dict[int, str]]:
+        """Batch counterpart of :meth:`location` for a drained burst.
+
+        Plans against the session's overlay view — the live ledger plus
+        every placement this burst has already accepted — so the greedy
+        scores see exactly the utilizations the sequential path's interim
+        ledger commits would have produced.  The plan is tested once
+        through the session (the sequential path tests it twice, in
+        ``location()`` and again in the AC's test-and-commit, but under
+        an unchanged ledger both tests agree, so decisions stay
+        bit-identical) and committed into the overlay on success.
+        Returns the admissible assignment, or None.
+        """
+        self.location_calls += 1
+        task = job.task
+        assignment, _added = self._greedy_plan(task, session)
+        candidate = BatchCandidate(
+            task.visited_processors(assignment),
+            [
+                (assignment[s.index], task.subtask_utilization(s.index))
+                for s in task.subtasks
+            ],
+        )
+        if not session.try_admit(candidate):
+            return None
+        self.plans_returned += 1
+        return assignment
+
     def location_for_reserved(
         self, task: TaskSpec, current: Dict[int, str], now: float
     ) -> Optional[Dict[int, str]]:
@@ -139,10 +169,14 @@ class LoadBalancerComponent(Component):
     ):
         """Stage-by-stage lowest-utilization placement.
 
-        ``discount`` maps subtask index -> node currently holding that
-        subtask's reservation; the reservation's utilization is subtracted
-        when scoring that node so a relocation decision is not biased
-        against keeping the current placement.
+        ``ledger`` is any utilization source exposing ``utilization(node)``
+        — the live ledger on the sequential path, a
+        :class:`~repro.sched.aub.BatchAdmissionSession` (ledger plus
+        batch overlay) on the batched path.  ``discount`` maps subtask
+        index -> node currently holding that subtask's reservation; the
+        reservation's utilization is subtracted when scoring that node so
+        a relocation decision is not biased against keeping the current
+        placement.
         """
         assignment: Dict[int, str] = {}
         added: Dict[str, float] = {}

@@ -38,17 +38,28 @@ Two analyzer implementations share the same API:
   admits a whole burst of simultaneous arrivals in one call: one prune,
   one dirty refresh, shared hypothetical per-node totals, and
   O(changed-nodes) bookkeeping per accepted candidate.
+  :meth:`AubAnalyzer.batch_session` opens the same overlay machinery
+  incrementally (:class:`BatchAdmissionSession`) for bursts whose
+  candidates are built on the fly — load-balanced placement plans that
+  must score nodes against the placements accepted before them.
 * :class:`NaiveAubAnalyzer` — the direct transcription of condition (1)
   (snapshot the ledger, rescan every registered task).  Retained as the
   reference implementation: property tests assert the incremental engine
   makes bit-identical decisions — per call *and* per batch — and the
   hot-path benchmark measures the speedup against it.
+
+When numpy is available the per-node ``f(U_j)`` term math (the batch
+screen's worst-case terms and the dirty-refresh term fill) runs as one
+vectorized pass over the ledger's per-node totals (:func:`aub_terms_bulk`);
+the pure-python loop is retained when numpy is absent or
+``REPRO_PURE_PYTHON`` is set, and both produce bit-identical floats.
 """
 
 from __future__ import annotations
 
 import heapq
 import math
+import os
 from typing import (
     Callable,
     Dict,
@@ -63,6 +74,21 @@ from typing import (
 
 from repro.errors import SchedulingError
 from repro.sim.monitor import TimeWeightedStat
+
+# numpy is an optional accelerator (the ``fast`` extra): the per-node
+# f(U) term math vectorizes over the sharded ledger's contiguous totals.
+# Setting REPRO_PURE_PYTHON forces the scalar path even when numpy is
+# installed, so both paths can be exercised on one machine; results are
+# bit-identical either way (see ``aub_terms_bulk``).
+try:
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised by the no-numpy CI leg
+    _np = None
+if os.environ.get("REPRO_PURE_PYTHON", "0") not in ("", "0"):
+    _np = None
+
+#: Below this many values the scalar loop beats the array round-trip.
+_BULK_MIN = 16
 
 #: Numeric slack for condition comparisons, so contributions that sum to
 #: exactly the bound are not rejected by floating-point noise.
@@ -118,6 +144,42 @@ def aub_term_inverse(t: float) -> float:
     if math.isinf(t):
         return 1.0
     return 2.0 * t / ((1.0 + t) + math.hypot(1.0, t))
+
+
+def _aub_terms_python(values: Sequence[float]) -> List[float]:
+    return [aub_term(u) for u in values]
+
+
+def _aub_terms_numpy(values: Sequence[float]) -> List[float]:
+    arr = _np.asarray(values, dtype=_np.float64)
+    if (arr < 0.0).any():
+        bad = float(arr[arr < 0.0][0])
+        raise SchedulingError(f"synthetic utilization cannot be negative: {bad}")
+    saturated = arr >= 1.0
+    any_saturated = bool(saturated.any())
+    # Saturated entries are masked to 0 before the division (their result
+    # is overwritten with +inf), so no divide-by-zero is ever evaluated.
+    safe = _np.where(saturated, 0.0, arr) if any_saturated else arr
+    terms = safe * (1.0 - safe / 2.0) / (1.0 - safe)
+    if any_saturated:
+        terms[saturated] = _np.inf
+    return terms.tolist()
+
+
+def aub_terms_bulk(values: Sequence[float]) -> List[float]:
+    """Vectorized :func:`aub_term` over many utilizations.
+
+    Elementwise IEEE-754 double arithmetic evaluates the same expression
+    ``u * (1 - u/2) / (1 - u)`` the scalar function uses, so the results
+    are **bit-identical** to ``[aub_term(u) for u in values]`` — numpy
+    only changes how fast the terms are produced, never their values.
+    Falls back to the scalar loop when numpy is absent (or disabled via
+    ``REPRO_PURE_PYTHON``) or when the input is too small to amortize the
+    array round-trip.
+    """
+    if _np is None or len(values) < _BULK_MIN:
+        return _aub_terms_python(values)
+    return _aub_terms_numpy(values)
 
 
 def task_condition_holds(visit_utils: Sequence[float]) -> bool:
@@ -472,8 +534,42 @@ class AubAnalyzer:
             self._node_terms[node] = term
         return term
 
+    def _prime_node_terms(self, nodes: Iterable[str]) -> None:
+        """Batch-fill the ``f(U_j)`` cache for the given nodes.
+
+        One :func:`aub_terms_bulk` pass (vectorized under numpy) computes
+        every term missing from the cache; subsequent :meth:`_term` calls
+        are pure cache hits.  The cached values are bit-identical to the
+        ones the scalar path would have produced one at a time.
+        """
+        node_terms = self._node_terms
+        missing: List[str] = []
+        seen: Set[str] = set()
+        for node in nodes:
+            if node not in node_terms and node not in seen:
+                seen.add(node)
+                missing.append(node)
+        if not missing:
+            return
+        ledger = self.ledger
+        utils = [ledger.utilization_or_zero(node) for node in missing]
+        for node, term in zip(missing, aub_terms_bulk(utils)):
+            node_terms[node] = term
+
     def _refresh_dirty(self) -> None:
         """Recompute cached condition totals for stale registrations."""
+        if len(self._dirty) >= _BULK_MIN:
+            # Vectorized term refresh: fill the f(U_j) cache for every
+            # node the stale registrations visit in one bulk pass, so the
+            # per-task loop below never computes a term scalar-by-scalar.
+            visits = self._visits
+            self._prime_node_terms(
+                node
+                for key in self._dirty
+                for entry in (visits.get(key),)
+                if entry is not None
+                for node in entry[0]
+            )
         while self._dirty:
             key = self._dirty.pop()
             entry = self._visits.get(key)
@@ -704,7 +800,9 @@ class AubAnalyzer:
                 if base is None:
                     base = ledger.utilization_or_zero(node)
                 umax[node] = base + value
-        umax_terms = {node: aub_term(u) for node, u in umax.items()}
+        # Vectorized f over the shared worst-case totals (values are
+        # bit-identical to the scalar loop; see aub_terms_bulk).
+        umax_terms = dict(zip(umax, aub_terms_bulk(list(umax.values()))))
         screen_bound = 1.0 + EPSILON - SCREEN_GUARD
         watch: Set[Tuple[str, int]] = set()
         to_screen: Set[Tuple[str, int]] = set()
@@ -712,6 +810,15 @@ class AubAnalyzer:
             keys = by_node.get(node)
             if keys:
                 to_screen.update(keys)
+        if len(to_screen) >= _BULK_MIN:
+            # The screen falls back to current-state terms for visited
+            # nodes outside the burst; bulk-fill those in one pass too.
+            self._prime_node_terms(
+                node
+                for key in to_screen
+                for node in registry[key][0]
+                if node not in umax_terms
+            )
         for key in to_screen:
             total = 0.0
             for node in registry[key][0]:
@@ -870,6 +977,279 @@ class AubAnalyzer:
             term = aub_term(u)
             over_terms[node] = term
         return term
+
+    def batch_session(
+        self, now: float, demand: Optional[Mapping[str, float]] = None
+    ) -> "BatchAdmissionSession":
+        """Open an incremental burst-admission session.
+
+        :meth:`admissible_batch` needs every candidate up front;
+        load-balanced bursts cannot provide that because each placement
+        plan scores nodes against the utilization left by the plans
+        accepted before it.  A session exposes the same batch-local
+        overlay one candidate at a time (see
+        :class:`BatchAdmissionSession`); prune and dirty-refresh run once
+        here, at session start.
+
+        ``demand`` optionally maps node -> the worst-case synthetic
+        utilization the whole burst could add there (every stage of every
+        queued arrival counted on each of its eligible processors).  The
+        placements are unknown up front but their demand envelope is not,
+        and it is enough to run the same worst-case screen
+        ``admissible_batch`` builds from its candidate list: registered
+        tasks whose condition holds under the envelope can never fail
+        inside the burst and are exempted from every per-candidate
+        rescan.  Every candidate later offered to ``try_admit`` must stay
+        inside the envelope, or the screen is unsound.
+        """
+        return BatchAdmissionSession(self, now, demand)
+
+
+class BatchAdmissionSession:
+    """Incremental burst admission for candidates built *during* the batch.
+
+    The load balancer plans one placement at a time: each plan's node
+    scores must include the contributions of every placement accepted
+    earlier in the burst.  A session carries the same batch-local overlay
+    :meth:`AubAnalyzer.admissible_batch` uses — running per-node totals,
+    cached overlay terms, and the accepted-candidate rescan index — but
+    accepts candidates one by one: :meth:`utilization` is the planner's
+    view (overlay where the batch changed a node, live ledger otherwise)
+    and :meth:`try_admit` tests a candidate and folds it into the overlay
+    on success, at O(changed nodes) cost with no ledger mutation and no
+    cache invalidation between candidates.
+
+    Decisions and floats are **bit-identical** to the sequential loop of
+    :meth:`AubAnalyzer.admissible` followed by per-stage ledger commits
+    and ``register()`` for each accepted candidate: overlay totals replay
+    the exact per-stage additions a ledger commit performs, hypothetical
+    states use the same ``max(0, U + delta)`` expression, and every
+    rescan recomputes the same visit-order sums with the same early exit.
+    Each test rescans the registered tasks and earlier-accepted
+    candidates on the nodes the candidate would change — exactly the set
+    the sequential path rescans — unless a ``demand`` envelope was given
+    at session start, in which case the same worst-case screen
+    ``admissible_batch`` runs over its candidate list runs here over the
+    envelope: burst deltas are non-negative and ``f`` is monotone, so a
+    task whose condition holds under the envelope totals (by at least
+    :data:`SCREEN_GUARD`) would pass every rescan the sequential path
+    performs, and skipping those rescans cannot change a decision.
+
+    Sessions model arrival bursts at one instant: candidate stage
+    contributions are non-negative and ``now`` is fixed at session start.
+    The session never touches the ledger or the registry; the caller
+    commits accepted candidates afterwards (one
+    :meth:`SyntheticUtilizationLedger.add_batch` over the accepted stage
+    contributions in acceptance order, then ``register()`` each).
+    """
+
+    __slots__ = (
+        "_analyzer",
+        "_over_totals",
+        "_over_terms",
+        "_accepted_by_node",
+        "_accepted_visits",
+        "_watch",
+        "_umax_terms",
+    )
+
+    def __init__(
+        self,
+        analyzer: AubAnalyzer,
+        now: float,
+        demand: Optional[Mapping[str, float]] = None,
+    ) -> None:
+        analyzer.prune(now)
+        analyzer._refresh_dirty()
+        self._analyzer = analyzer
+        #: Running post-commit totals for nodes accepted candidates touched.
+        self._over_totals: Dict[str, float] = {}
+        #: Cached f() terms for overlay nodes (invalidated on commit).
+        self._over_terms: Dict[str, float] = {}
+        #: node -> indices of accepted candidates visiting it.
+        self._accepted_by_node: Dict[str, Set[int]] = {}
+        self._accepted_visits: List[Tuple[str, ...]] = []
+        #: Registered keys the worst-case screen could not exempt (None
+        #: when no demand envelope was given: rescan everything).
+        self._watch: Optional[Set[Tuple[str, int]]] = None
+        #: f() terms at the envelope's worst-case per-node totals.
+        self._umax_terms: Optional[Dict[str, float]] = None
+        if demand is None:
+            return
+        # One-pass screen, exactly as admissible_batch builds it from its
+        # candidate list — the envelope plays the role of the burst's
+        # summed stage deltas.
+        ledger = analyzer.ledger
+        umax = {
+            node: ledger.utilization_or_zero(node) + extra
+            for node, extra in demand.items()
+        }
+        umax_terms = dict(zip(umax, aub_terms_bulk(list(umax.values()))))
+        screen_bound = 1.0 + EPSILON - SCREEN_GUARD
+        by_node = analyzer._by_node
+        registry = analyzer._visits
+        to_screen: Set[Tuple[str, int]] = set()
+        for node in umax:
+            keys = by_node.get(node)
+            if keys:
+                to_screen.update(keys)
+        if len(to_screen) >= _BULK_MIN:
+            analyzer._prime_node_terms(
+                node
+                for key in to_screen
+                for node in registry[key][0]
+                if node not in umax_terms
+            )
+        watch: Set[Tuple[str, int]] = set()
+        for key in to_screen:
+            total = 0.0
+            for node in registry[key][0]:
+                term = umax_terms.get(node)
+                total += analyzer._term(node) if term is None else term
+                if total > screen_bound:
+                    watch.add(key)
+                    break
+        self._watch = watch
+        self._umax_terms = umax_terms
+
+    @property
+    def accepted(self) -> int:
+        return len(self._accepted_visits)
+
+    def utilization(self, node: str) -> float:
+        """The planner's utilization view: the overlay total where this
+        batch already placed something, the live ledger total otherwise
+        (same floats a ledger commit would have produced)."""
+        total = self._over_totals.get(node)
+        if total is None:
+            return self._analyzer.ledger.utilization(node)
+        return total
+
+    def try_admit(self, cand: BatchCandidate) -> bool:
+        """Test ``cand`` under ledger + overlay; commit it into the
+        overlay and return True when the system stays schedulable."""
+        analyzer = self._analyzer
+        analyzer.tests_performed += 1
+        ledger = analyzer.ledger
+        over_totals = self._over_totals
+        over_terms = self._over_terms
+        visits = cand.visits
+        # Hypothetical post-admission utilization on each touched node.
+        hyp: Dict[str, float] = {}
+        for node, extra in cand.contribs.items():
+            base = over_totals.get(node)
+            if base is None:
+                base = ledger.utilization_or_zero(node)
+            hyp[node] = max(0.0, base + extra)
+        # Every processor must stay below saturation.
+        for node in set(visits):
+            u = hyp.get(node)
+            if u is None:
+                u = over_totals.get(node)
+                if u is None:
+                    u = ledger.utilization_or_zero(node)
+            if u >= 1.0:
+                return False
+        # The candidate's own condition.
+        total = 0.0
+        for node in visits:
+            u = hyp.get(node)
+            if u is None:
+                total += analyzer._overlay_term(node, over_totals, over_terms)
+            else:
+                total += aub_term(u)
+            if total > 1.0 + EPSILON:
+                return False
+        # Registered tasks and earlier-accepted candidates visiting a
+        # node this candidate would change (watched ones only, when the
+        # demand envelope screened the rest out).
+        affected: Set[Tuple[str, int]] = set()
+        affected_accepted: Set[int] = set()
+        by_node = analyzer._by_node
+        accepted_by_node = self._accepted_by_node
+        watch = self._watch
+        for node, extra in cand.contribs.items():
+            if extra == 0.0:
+                continue
+            keys = by_node.get(node)
+            if keys:
+                affected.update(keys if watch is None else keys & watch)
+            batch_keys = accepted_by_node.get(node)
+            if batch_keys:
+                affected_accepted.update(batch_keys)
+        violating = analyzer._violating
+        if violating:
+            # A task already over the bound fails the test no matter what
+            # the candidate changes elsewhere (mirrors ``admissible``).
+            for key in violating:
+                if key not in affected:
+                    return False
+        registry = analyzer._visits
+        for key in affected:
+            total = 0.0
+            for node in registry[key][0]:
+                u = hyp.get(node)
+                if u is None:
+                    total += analyzer._overlay_term(
+                        node, over_totals, over_terms
+                    )
+                else:
+                    total += aub_term(u)
+                if total > 1.0 + EPSILON:
+                    return False
+        accepted_visits = self._accepted_visits
+        for index in affected_accepted:
+            total = 0.0
+            for node in accepted_visits[index]:
+                u = hyp.get(node)
+                if u is None:
+                    total += analyzer._overlay_term(
+                        node, over_totals, over_terms
+                    )
+                else:
+                    total += aub_term(u)
+                if total > 1.0 + EPSILON:
+                    return False
+        self._commit(cand)
+        return True
+
+    def _commit(self, cand: BatchCandidate) -> None:
+        """Fold an accepted candidate into the overlay: replay the exact
+        per-stage additions the ledger commit will perform, invalidate
+        the overlay terms of the changed nodes — O(changed nodes)."""
+        over_totals = self._over_totals
+        analyzer = self._analyzer
+        ledger = analyzer.ledger
+        index = len(self._accepted_visits)
+        self._accepted_visits.append(cand.visits)
+        for node, value in cand.stage_contribs:
+            base = over_totals.get(node)
+            if base is None:
+                base = ledger.utilization_or_zero(node)
+            over_totals[node] = base + value
+        # Screen the accepted candidate against the demand envelope like
+        # a registered task: only watched ones are ever rescanned.
+        umax_terms = self._umax_terms
+        watched = True
+        if umax_terms is not None:
+            screen_bound = 1.0 + EPSILON - SCREEN_GUARD
+            total = 0.0
+            watched = False
+            for node in cand.visits:
+                term = umax_terms.get(node)
+                total += analyzer._term(node) if term is None else term
+                if total > screen_bound:
+                    watched = True
+                    break
+        accepted_by_node = self._accepted_by_node
+        for node in cand.contribs:
+            self._over_terms.pop(node, None)
+            if watched:
+                members = accepted_by_node.get(node)
+                if members is None:
+                    accepted_by_node[node] = {index}
+                else:
+                    members.add(index)
 
 
 class NaiveAubAnalyzer:

@@ -80,14 +80,42 @@ class TestMiddlewareBatching:
         assert record.admitted is not None
         assert result.released_jobs + result.rejected_jobs > 0
 
-    def test_lb_combos_fall_back_to_sequential_decisions(self):
-        session = Session(_scenario(combo="J_J_J"))
+    def test_lb_combos_place_through_batch_sessions(self):
+        session = Session(_scenario(combo="J_J_J", burst=(4.0, 30, None, 1e-4)))
         result = session.run()
         ac = session.system.ac
-        # The queue still drains in batches, but LB placements decide
-        # per arrival: no batched admissible_batch commits.
+        lb = session.system.lb
+        # The queue drains in batches and placements run through the
+        # batch admission session (no per-candidate location() probes).
         assert ac.batch_calls > 0
+        assert lb.location_calls > 0
+        assert lb.plans_returned > 0
         assert result.released_jobs > 0
+
+    @pytest.mark.parametrize("combo", ["J_J_J", "T_T_T", "T_T_J", "J_N_T"])
+    def test_lb_batching_matches_sequential_decisions(self, combo):
+        """Batched LB placement is bit-identical to the sequential path:
+        same admitted/rejected/released counts on the same trace."""
+        outcomes = []
+        for batching in (False, True):
+            session = Session(
+                _scenario(
+                    combo=combo,
+                    batching=batching,
+                    burst=(4.0, 30, None, 1e-4),
+                )
+            )
+            result = session.run()
+            ac = session.system.ac
+            outcomes.append(
+                (
+                    ac.admitted_jobs,
+                    ac.rejected_jobs,
+                    result.released_jobs,
+                    result.final_synthetic_utilization,
+                )
+            )
+        assert outcomes[0] == outcomes[1]
 
     def test_batching_preserves_admission_accounting(self):
         """On/off runs agree on the ledger bookkeeping invariants."""

@@ -1,6 +1,6 @@
 """Property tests for the batched hot path.
 
-Two contracts are enforced here:
+Four contracts are enforced here:
 
 * **Batch admission parity** — for random bursts of arrivals,
   :meth:`AubAnalyzer.admissible_batch` accepts exactly the prefix-greedy
@@ -8,6 +8,15 @@ Two contracts are enforced here:
   real per-stage ledger commits between them) would accept, at exact
   float equality; and :meth:`NaiveAubAnalyzer.admissible_batch` — the
   retained reference transcription — agrees with both.
+* **Batch placement parity** — load-balanced bursts planned through a
+  :class:`BatchAdmissionSession` (greedy scores against the ledger plus
+  the burst's accepted overlay, one ``try_admit`` per plan) produce the
+  same assignments, the same accept/reject decisions, and bit-identical
+  final ledger utilizations as the sequential path's
+  plan / ``admissible`` / per-stage-commit / register loop.
+* **Vectorized f(U) parity** — when numpy is importable,
+  ``aub_terms_bulk`` returns bit-identical floats to the scalar
+  ``aub_term`` loop (elementwise float64 ops are IEEE-754 exact).
 * **Ledger shard invariants** — the per-node sharded
   :class:`SyntheticUtilizationLedger` reports the same utilizations,
   snapshots, and contribution counts as an unsharded dict-of-dicts
@@ -17,15 +26,24 @@ Two contracts are enforced here:
 
 import random
 
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro.core.load_balancer import LoadBalancerComponent
 from repro.sched.aub import (
     AubAnalyzer,
     BatchCandidate,
     NaiveAubAnalyzer,
     SyntheticUtilizationLedger,
+    _aub_terms_python,
+    _np,
+    aub_term,
+    aub_terms_bulk,
 )
+from repro.sched.task import Job, TaskKind
+
+from tests.taskutil import make_task
 
 NODES = ("a", "b", "c", "d")
 
@@ -163,6 +181,251 @@ class TestBatchAdmissionParity:
         # is rejected, every later identical candidate is rejected too.
         first_reject = decisions.index(False)
         assert not any(decisions[first_reject:])
+
+
+# ----------------------------------------------------------------------
+# Batch placement parity (load-balanced bursts)
+# ----------------------------------------------------------------------
+def _random_task(rng, task_id):
+    """A periodic chain with randomized eligible sets (deadline=period=1,
+    so each stage's synthetic utilization equals its execution time)."""
+    stages = rng.randint(1, 3)
+    homes, replicas, execs = [], [], []
+    for _ in range(stages):
+        eligible = rng.sample(list(NODES), rng.randint(1, len(NODES)))
+        homes.append(eligible[0])
+        replicas.append(tuple(eligible[1:]))
+        execs.append(rng.uniform(0.005, 0.3))
+    return make_task(
+        task_id,
+        TaskKind.PERIODIC,
+        deadline=1.0,
+        execs=tuple(execs),
+        homes=homes,
+        replicas=replicas,
+    )
+
+
+def _twin_lb_population(rng, n_pre):
+    """Two identical ledger/analyzer pairs with ``n_pre`` admitted tasks,
+    a mix of live, expiring, and permanent registry entries."""
+    ledgers = [SyntheticUtilizationLedger(NODES) for _ in range(2)]
+    analyzers = [AubAnalyzer(ledger) for ledger in ledgers]
+    for i in range(n_pre):
+        stages = rng.randint(1, 3)
+        visits = [rng.choice(NODES) for _ in range(stages)]
+        utils = [rng.uniform(0.005, 0.15) for _ in range(stages)]
+        # 0.5 expires before the burst at now=1.0: the session's prune
+        # and the sequential path's per-test prune must agree.
+        expiry = rng.choice([1e9, 0.5, None])
+        for ledger in ledgers:
+            for j, (node, util) in enumerate(zip(visits, utils)):
+                ledger.add(node, (f"P{i}", 0, j), util)
+        for analyzer in analyzers:
+            analyzer.register((f"P{i}", 0), list(visits), expiry)
+    return ledgers, analyzers
+
+
+def _burst_jobs(rng, size):
+    jobs = []
+    for c in range(size):
+        task = _random_task(rng, f"B{c}")
+        jobs.append(
+            Job(
+                task=task,
+                index=0,
+                arrival_time=1.0,
+                arrival_node=task.subtasks[0].home,
+            )
+        )
+    return jobs
+
+
+def _demand_envelope(jobs):
+    """Worst-case per-node demand of a burst: every stage counted on
+    each of its eligible processors."""
+    demand = {}
+    for job in jobs:
+        task = job.task
+        for subtask in task.subtasks:
+            value = task.subtask_utilization(subtask.index)
+            for node in subtask.eligible:
+                demand[node] = demand.get(node, 0.0) + value
+    return demand
+
+
+def _lb_sequential_oracle(ledger, analyzer, lb, jobs, now):
+    """The sequential LB path, transcribed: greedy-plan against the live
+    ledger, test in location(), re-test in the AC's test-and-commit, then
+    commit per stage and register."""
+    plans = []
+    for job in jobs:
+        task = job.task
+        assignment, added = lb._greedy_plan(task, ledger)
+        visits = task.visited_processors(assignment)
+        if not analyzer.admissible(visits, added, now):
+            plans.append(None)
+            continue
+        contribs = {}
+        for subtask in task.subtasks:
+            node = assignment[subtask.index]
+            contribs[node] = contribs.get(
+                node, 0.0
+            ) + task.subtask_utilization(subtask.index)
+        if not analyzer.admissible(visits, contribs, now):
+            plans.append(None)
+            continue
+        for subtask in task.subtasks:
+            ledger.add(
+                assignment[subtask.index],
+                (task.task_id, job.index, subtask.index),
+                task.subtask_utilization(subtask.index),
+            )
+        analyzer.register((task.task_id, job.index), visits, expiry=1e9)
+        plans.append(assignment)
+    return plans
+
+
+def _assert_placement_parity(seed, n_pre, burst_size):
+    rng = random.Random(seed)
+    ledgers, analyzers = _twin_lb_population(rng, n_pre)
+    jobs = _burst_jobs(rng, burst_size)
+    lb = LoadBalancerComponent("lb", None)
+
+    session = analyzers[0].batch_session(now=1.0)
+    batched = [lb.location_in_batch(job, session) for job in jobs]
+    # A screened session (sessions never mutate ledger or registry, so a
+    # second one can replay the same burst): skipping the rescans the
+    # demand envelope exempts must not change any plan.
+    screened_session = analyzers[0].batch_session(
+        now=1.0, demand=_demand_envelope(jobs)
+    )
+    screened = [lb.location_in_batch(job, screened_session) for job in jobs]
+    assert screened == batched, (
+        f"screened session diverged (seed={seed}): "
+        f"screened={screened} unscreened={batched}"
+    )
+    entries = [
+        (
+            plan[subtask.index],
+            (job.task.task_id, job.index, subtask.index),
+            job.task.subtask_utilization(subtask.index),
+        )
+        for job, plan in zip(jobs, batched)
+        if plan is not None
+        for subtask in job.task.subtasks
+    ]
+    ledgers[0].add_batch(entries)
+
+    sequential = _lb_sequential_oracle(
+        ledgers[1], analyzers[1], lb, jobs, now=1.0
+    )
+    assert batched == sequential, (
+        f"placement plans diverged (seed={seed}): "
+        f"batched={batched} sequential={sequential}"
+    )
+    for node in NODES:
+        assert ledgers[0].utilization(node) == ledgers[1].utilization(node)
+
+
+class TestBatchPlacementParity:
+    def test_seeded_bursts(self):
+        saw_accept = saw_reject = False
+        for seed in range(25):
+            rng = random.Random(seed)
+            ledgers, analyzers = _twin_lb_population(rng, rng.randint(0, 20))
+            jobs = _burst_jobs(rng, rng.randint(1, 24))
+            lb = LoadBalancerComponent("lb", None)
+            session = analyzers[0].batch_session(
+                now=1.0, demand=_demand_envelope(jobs)
+            )
+            batched = [lb.location_in_batch(job, session) for job in jobs]
+            sequential = _lb_sequential_oracle(
+                ledgers[1], analyzers[1], lb, jobs, now=1.0
+            )
+            assert batched == sequential
+            saw_accept |= any(p is not None for p in batched)
+            saw_reject |= any(p is None for p in batched)
+        assert saw_accept and saw_reject
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=2**31),
+        n_pre=st.integers(min_value=0, max_value=25),
+        burst_size=st.integers(min_value=1, max_value=24),
+    )
+    def test_random_bursts(self, seed, n_pre, burst_size):
+        _assert_placement_parity(seed, n_pre, burst_size)
+
+    def test_overlay_is_visible_to_later_plans(self):
+        """A placement accepted earlier in the burst must steer later
+        greedy scores, exactly as an interim ledger commit would."""
+        ledger = SyntheticUtilizationLedger(("a", "b"))
+        analyzer = AubAnalyzer(ledger)
+        lb = LoadBalancerComponent("lb", None)
+        session = analyzer.batch_session(now=0.0)
+        # Both stages may run anywhere; empty ledger ties break to "a".
+        t0 = make_task("T0", execs=(0.2,), homes=("a",), replicas=[("b",)])
+        t1 = make_task("T1", execs=(0.1,), homes=("a",), replicas=[("b",)])
+        j0 = Job(task=t0, index=0, arrival_time=0.0, arrival_node="a")
+        j1 = Job(task=t1, index=0, arrival_time=0.0, arrival_node="a")
+        assert lb.location_in_batch(j0, session) == {0: "a"}
+        # Without the overlay "a" would still score 0.0 and win the tie.
+        assert lb.location_in_batch(j1, session) == {0: "b"}
+
+    def test_saturating_burst_rejects_tail(self):
+        ledger = SyntheticUtilizationLedger(("a",))
+        analyzer = AubAnalyzer(ledger)
+        lb = LoadBalancerComponent("lb", None)
+        session = analyzer.batch_session(now=0.0)
+        plans = []
+        for i in range(8):
+            task = make_task(f"T{i}", execs=(0.2,), homes=("a",))
+            job = Job(task=task, index=0, arrival_time=0.0, arrival_node="a")
+            plans.append(lb.location_in_batch(job, session))
+        decisions = [p is not None for p in plans]
+        assert any(decisions) and not all(decisions)
+        first_reject = decisions.index(False)
+        assert not any(decisions[first_reject:])
+
+
+# ----------------------------------------------------------------------
+# Vectorized f(U) parity
+# ----------------------------------------------------------------------
+class TestBulkTermParity:
+    def test_scalar_fallback_matches_aub_term(self):
+        values = [0.0, 0.1, 0.5, 0.999, 1.0, 1.5]
+        assert aub_terms_bulk(values) == [aub_term(v) for v in values]
+
+    @pytest.mark.skipif(_np is None, reason="numpy not importable")
+    @settings(max_examples=60, deadline=None)
+    @given(
+        values=st.lists(
+            st.floats(min_value=0.0, max_value=1.25, allow_nan=False),
+            min_size=1,
+            max_size=64,
+        )
+    )
+    def test_numpy_path_bit_identical(self, values):
+        from repro.sched.aub import _aub_terms_numpy
+
+        scalar = _aub_terms_python(values)
+        vectorized = _aub_terms_numpy(values)
+        assert len(scalar) == len(vectorized)
+        for s, v in zip(scalar, vectorized):
+            # Exact equality: elementwise float64 arithmetic must agree
+            # with the scalar expression bit for bit (inf == inf holds).
+            assert s == v
+
+    @pytest.mark.skipif(_np is None, reason="numpy not importable")
+    def test_negative_utilization_rejected_by_both_paths(self):
+        from repro.errors import SchedulingError
+        from repro.sched.aub import _aub_terms_numpy
+
+        with pytest.raises(SchedulingError):
+            _aub_terms_python([0.1, -1e-9])
+        with pytest.raises(SchedulingError):
+            _aub_terms_numpy([0.1, -1e-9])
 
 
 # ----------------------------------------------------------------------
