@@ -3,10 +3,14 @@
 Compares a freshly measured ``BENCH_hotpath.json`` with the baseline
 committed at the repo root (saved aside before the benchmark overwrote
 it).  A metric fails when it falls more than ``--tolerance`` (default
-30%) below the baseline; metrics absent from either file — e.g. scales
-dropped by ``REPRO_BENCH_HOTPATH_SCALES`` on the reduced CI grid, or
-sections a newer benchmark added — are skipped, so the gate works on any
-grid subset.
+30%) below the baseline; *scales* absent from either file — e.g. rows
+dropped by ``REPRO_BENCH_HOTPATH_SCALES`` on the reduced CI grid — are
+skipped, so the gate works on any grid subset.  Whole tracked *sections*
+missing from the fresh record are a different story: that means the
+benchmark did not produce what the gate expects (truncated run, stale
+file), so the script exits 2 with a section-by-section message instead
+of silently passing or crashing.  Baseline-side sections may be absent
+(older baselines predate newer benchmarks) and are skipped as before.
 
 ``--normalize`` divides every admission/ledger throughput by its own
 file's kernel event rate before comparing.  The kernel benchmark is pure
@@ -21,7 +25,9 @@ Usage::
     python benchmarks/check_hotpath_regression.py BASELINE.json FRESH.json \
         [--tolerance 0.30] [--normalize]
 
-Exit status 1 on regression, with a per-metric report either way.
+Exit status: 0 all comparable metrics within tolerance, 1 regression (or
+no comparable metrics at all), 2 unreadable record or tracked section
+missing from the fresh file.
 """
 
 from __future__ import annotations
@@ -31,6 +37,23 @@ import json
 import sys
 from pathlib import Path
 from typing import Dict, Iterator, Tuple
+
+
+#: Top-level sections every complete BENCH_hotpath.json carries.  The
+#: reduced CI grid drops *scales inside* admission sections, never whole
+#: sections, so a missing section in a fresh record is always an error.
+REQUIRED_SECTIONS = (
+    "kernel_events_per_sec",
+    "admission",
+    "admission_batch",
+    "lb_placement_batch",
+    "ledger_sharded",
+    "distributed_round",
+)
+
+
+def missing_sections(data: dict) -> list:
+    return [name for name in REQUIRED_SECTIONS if name not in data]
 
 
 def throughput_metrics(data: dict) -> Iterator[Tuple[str, float]]:
@@ -126,8 +149,21 @@ def main(argv=None) -> int:
         "comparisons, e.g. committed baseline vs CI runner)",
     )
     args = parser.parse_args(argv)
-    baseline = json.loads(args.baseline.read_text())
-    fresh = json.loads(args.fresh.read_text())
+    try:
+        baseline = json.loads(args.baseline.read_text())
+        fresh = json.loads(args.fresh.read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"cannot read benchmark record: {exc}", file=sys.stderr)
+        return 2
+    missing = missing_sections(fresh)
+    if missing:
+        print(
+            f"{args.fresh} is missing tracked section(s): "
+            f"{', '.join(missing)}; the benchmark run was truncated or the "
+            "record is stale — re-run benchmarks/test_bench_hotpath.py",
+            file=sys.stderr,
+        )
+        return 2
     return compare(baseline, fresh, args.tolerance, args.normalize)
 
 

@@ -1,0 +1,93 @@
+"""Exit-code contract of ``check_hotpath_regression.py``.
+
+0: all comparable metrics within tolerance.  1: a regression (or nothing
+comparable).  2: unreadable record, or a tracked section missing from
+the fresh file — distinct so CI can tell "the hot path got slower" from
+"the benchmark never produced the numbers".
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from check_hotpath_regression import REQUIRED_SECTIONS, main  # noqa: E402
+
+
+def _record(rate=100_000.0):
+    return {
+        "kernel_events_per_sec": 1_000_000.0,
+        "admission": {"100": {"incremental_tests_per_sec": rate}},
+        "admission_batch": {"100": {"batch_tests_per_sec": rate}},
+        "lb_placement_batch": {"100": {"batch_placements_per_sec": rate}},
+        "ledger_sharded": {"batch_ops_per_sec": rate},
+        "distributed_round": {"round_reduction": 10.0},
+    }
+
+
+def _write(tmp_path, name, data):
+    path = tmp_path / name
+    path.write_text(json.dumps(data))
+    return str(path)
+
+
+def test_clean_pass_exits_zero(tmp_path, capsys):
+    argv = [
+        _write(tmp_path, "base.json", _record()),
+        _write(tmp_path, "fresh.json", _record()),
+    ]
+    assert main(argv) == 0
+    capsys.readouterr()
+
+
+def test_regression_exits_one(tmp_path, capsys):
+    argv = [
+        _write(tmp_path, "base.json", _record(rate=100_000.0)),
+        _write(tmp_path, "fresh.json", _record(rate=10_000.0)),
+    ]
+    assert main(argv) == 1
+    assert "REGRESSION" in capsys.readouterr().out
+
+
+def test_missing_tracked_section_exits_two(tmp_path, capsys):
+    fresh = _record()
+    del fresh["ledger_sharded"]
+    argv = [
+        _write(tmp_path, "base.json", _record()),
+        _write(tmp_path, "fresh.json", fresh),
+    ]
+    assert main(argv) == 2
+    err = capsys.readouterr().err
+    assert "missing tracked section(s): ledger_sharded" in err
+
+
+def test_missing_file_exits_two(tmp_path, capsys):
+    argv = [
+        _write(tmp_path, "base.json", _record()),
+        str(tmp_path / "nope.json"),
+    ]
+    assert main(argv) == 2
+    assert "cannot read benchmark record" in capsys.readouterr().err
+
+
+def test_dropped_scale_rows_still_skip(tmp_path, capsys):
+    # The reduced CI grid drops scales *inside* sections; that must stay
+    # a skip, not an error and not a failure.
+    fresh = _record()
+    fresh["admission"] = {}
+    argv = [
+        _write(tmp_path, "base.json", _record()),
+        _write(tmp_path, "fresh.json", fresh),
+    ]
+    assert main(argv) == 0
+    capsys.readouterr()
+
+
+def test_committed_record_has_every_tracked_section():
+    committed = json.loads(
+        (Path(__file__).resolve().parents[1] / "BENCH_hotpath.json").read_text()
+    )
+    assert all(section in committed for section in REQUIRED_SECTIONS)

@@ -21,7 +21,7 @@ what is available, so typos fail loudly instead of silently defaulting.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Sequence
+from typing import Any, Callable, Dict, List, Sequence
 
 from repro.core.strategies import StrategyCombo, valid_combinations
 from repro.errors import ConfigurationError
@@ -86,7 +86,7 @@ class StrategyRegistry:
             raise ConfigurationError(f"policy {key!r} is already registered")
         self._policies[key] = factory
 
-    def policy(self, name: str, nodes: Sequence[str], **params):
+    def policy(self, name: str, nodes: Sequence[str], **params: Any) -> object:
         """Instantiate the named admission policy over ``nodes``."""
         factory = self._policies.get(name.strip() if isinstance(name, str) else name)
         if factory is None:
@@ -105,7 +105,7 @@ class StrategyRegistry:
         return sorted(self._policies)
 
 
-def _aub_policy(nodes: Sequence[str], **params):
+def _aub_policy(nodes: Sequence[str], **params: Any) -> object:
     from repro.sched.replay import AubReplayPolicy
 
     if params:
@@ -115,7 +115,7 @@ def _aub_policy(nodes: Sequence[str], **params):
     return AubReplayPolicy(nodes)
 
 
-def _deferrable_policy(nodes: Sequence[str], **params):
+def _deferrable_policy(nodes: Sequence[str], **params: Any) -> object:
     from repro.sched.deferrable import DeferrableServerPolicy
 
     return DeferrableServerPolicy(nodes, **params)

@@ -21,7 +21,7 @@ import dataclasses
 import json
 from dataclasses import dataclass, field, fields, replace
 from pathlib import Path
-from typing import Any, Dict, Optional, Tuple, Union
+from typing import Any, Dict, Iterable, List, Optional, Tuple, Union
 
 from repro.api.registry import default_registry
 from repro.core.cost_model import CostModel
@@ -59,7 +59,7 @@ SOURCE_KINDS = (SOURCE_EXPLICIT, SOURCE_RANDOM, SOURCE_IMBALANCED)
 # ----------------------------------------------------------------------
 # JSON codecs for the embedded value objects
 # ----------------------------------------------------------------------
-def _reject_unknown(data: Dict[str, Any], allowed, what: str) -> None:
+def _reject_unknown(data: Dict[str, Any], allowed: Iterable[str], what: str) -> None:
     unknown = set(data) - set(allowed)
     if unknown:
         raise ConfigurationError(
@@ -97,14 +97,14 @@ def workload_to_json(workload: Workload) -> Dict[str, Any]:
 def workload_from_json(data: Dict[str, Any]) -> Workload:
     """Rebuild a :class:`Workload` from :func:`workload_to_json` output."""
     _reject_unknown(data, ("manager_node", "app_nodes", "tasks"), "workload")
-    tasks = []
+    tasks: List[TaskSpec] = []
     for t in data.get("tasks", ()):
         _reject_unknown(
             t,
             ("task_id", "kind", "deadline", "period", "phase", "subtasks"),
             "task",
         )
-        subtasks = []
+        subtasks: List[SubtaskSpec] = []
         for s in t.get("subtasks", ()):
             _reject_unknown(
                 s, ("index", "execution_time", "home", "replicas"), "subtask"
@@ -149,7 +149,7 @@ def cost_model_from_json(data: Optional[Dict[str, Any]]) -> Optional[CostModel]:
 
 
 #: Delay-model type tag -> (class, constructor-argument attribute names).
-_DELAY_TYPES = {
+_DELAY_TYPES: Dict[str, Tuple[Any, Tuple[str, ...]]] = {
     "constant": (ConstantDelay, ("delay",)),
     "uniform": (UniformDelay, ("low", "high")),
     "triangular": (TriangularDelay, ("low", "mode", "high")),
@@ -293,7 +293,9 @@ class WorkloadSource:
     def materialize(self) -> Workload:
         """The concrete workload this source denotes."""
         if self.kind == SOURCE_EXPLICIT:
+            assert self.workload is not None  # enforced by __post_init__
             return self.workload
+        assert self.seed is not None  # enforced by __post_init__
         rng = RngRegistry(self.seed).stream(self.stream)
         generate = (
             generate_random_workload
@@ -309,6 +311,7 @@ class WorkloadSource:
     def to_json(self) -> Dict[str, Any]:
         data: Dict[str, Any] = {"kind": self.kind}
         if self.kind == SOURCE_EXPLICIT:
+            assert self.workload is not None  # enforced by __post_init__
             data["workload"] = workload_to_json(self.workload)
         else:
             data["seed"] = self.seed
@@ -576,7 +579,7 @@ class Scenario:
         # ranges on the same task would collide in the admission registry
         # (re-registering a job key replaces the previous entry), silently
         # corrupting the AUB bookkeeping.
-        ranges: Dict[Optional[str], list] = {}
+        ranges: Dict[Optional[str], List[Tuple[int, int]]] = {}
         for disturbance in self.disturbances:
             if not isinstance(disturbance, Burst) or disturbance.jobs == 0:
                 continue
@@ -613,7 +616,7 @@ class Scenario:
     def builder(cls) -> "ScenarioBuilder":
         return ScenarioBuilder()
 
-    def with_changes(self, **changes) -> "Scenario":
+    def with_changes(self, **changes: Any) -> "Scenario":
         """A copy with the given fields replaced (re-validated)."""
         return replace(self, **changes)
 
@@ -700,11 +703,11 @@ class Scenario:
             raise ConfigurationError(f"invalid scenario JSON: {exc}") from None
         return cls.from_json(data)
 
-    def save(self, path) -> None:
+    def save(self, path: Union[str, Path]) -> None:
         Path(path).write_text(self.to_json_str() + "\n")
 
     @classmethod
-    def load(cls, path) -> "Scenario":
+    def load(cls, path: Union[str, Path]) -> "Scenario":
         return cls.from_json_str(Path(path).read_text())
 
 

@@ -132,7 +132,7 @@ class RunResult:
     # -- derived views ----------------------------------------------------
     def overhead_rows(self) -> List[OverheadRow]:
         """Figure-8-style rows (microseconds) for paths that saw samples."""
-        rows = []
+        rows: List[OverheadRow] = []
         for name in ALL_ROWS:
             snap = self.overhead.get(name)
             if snap is None or snap.count == 0:
@@ -228,16 +228,18 @@ class Session:
             )
         self.scenario = scenario
         self.via_dance = via_dance
-        self._system = None
+        # The deployed system comes from intentionally-untyped engine
+        # modules (middleware / distributed / DAnCE-lite), hence Any.
+        self._system: Optional[Any] = None
         self._result: Optional[RunResult] = None
 
     # -- deployment -------------------------------------------------------
     @property
-    def system(self):
+    def system(self) -> Optional[Any]:
         """The deployed system (None until :meth:`deploy` or :meth:`run`)."""
         return self._system
 
-    def deploy(self):
+    def deploy(self) -> Any:
         """Build (and keep) the live system for this scenario."""
         if self._system is not None:
             return self._system
@@ -284,7 +286,7 @@ class Session:
         self._apply_disturbances(self._system)
         return self._system
 
-    def _apply_disturbances(self, system) -> None:
+    def _apply_disturbances(self, system: Any) -> None:
         self._check_resolved_burst_overlap(system)
         for disturbance in self.scenario.disturbances:
             if isinstance(disturbance, Burst):
@@ -292,13 +294,13 @@ class Session:
             elif isinstance(disturbance, Slowdown):
                 self._schedule_slowdown(system, disturbance)
 
-    def _check_resolved_burst_overlap(self, system) -> None:
+    def _check_resolved_burst_overlap(self, system: Any) -> None:
         # Scenario validation catches overlaps keyed by literal task_id,
         # but a burst with task_id=None resolves to the first aperiodic
         # task only now that the workload is live — re-check with the
         # resolved targets so no duplicate job keys reach the admission
         # registry.
-        spans: Dict[str, list] = {}
+        spans: Dict[str, List[Tuple[int, int]]] = {}
         for disturbance in self.scenario.disturbances:
             if not isinstance(disturbance, Burst) or disturbance.jobs == 0:
                 continue
@@ -316,7 +318,7 @@ class Session:
             spans.setdefault(resolved, []).append(span)
 
     @staticmethod
-    def _resolve_burst_task(system, burst: Burst):
+    def _resolve_burst_task(system: Any, burst: Burst) -> Any:
         workload = system.workload
         if burst.task_id is None:
             aperiodic = workload.aperiodic_tasks
@@ -328,7 +330,7 @@ class Session:
         return workload.task(burst.task_id)
 
     @classmethod
-    def _schedule_burst(cls, system, burst: Burst) -> None:
+    def _schedule_burst(cls, system: Any, burst: Burst) -> None:
         task = cls._resolve_burst_task(system, burst)
         batched = getattr(system, "arrival_batching", False)
         for i in range(burst.jobs):
@@ -348,7 +350,7 @@ class Session:
                 )
 
     @staticmethod
-    def _schedule_slowdown(system, slowdown: Slowdown) -> None:
+    def _schedule_slowdown(system: Any, slowdown: Slowdown) -> None:
         nodes = slowdown.nodes or tuple(system.workload.app_nodes)
         for node in nodes:
             if node not in system.processors:

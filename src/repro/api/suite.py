@@ -22,7 +22,10 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.api.scenario import Scenario, WorkloadSource, _reject_unknown
 from repro.api.session import RunResult, Session
+from repro.core.cost_model import CostModel
+from repro.core.strategies import StrategyCombo
 from repro.errors import ConfigurationError
+from repro.workloads.model import Workload
 
 
 @dataclass(frozen=True)
@@ -56,8 +59,13 @@ class MappingCell:
 Cell = Union[Scenario, MappingCell]
 
 
-def execute_cell(cell: Cell):
-    """Evaluate one suite cell (module-level so it pickles to workers)."""
+def execute_cell(cell: Cell) -> Any:
+    """Evaluate one suite cell (module-level so it pickles to workers).
+
+    Returns a :class:`RunResult` for scenarios, a ``Table1Row`` for
+    mapping cells — ``Any`` because the latter lives in the untyped
+    experiment layer.
+    """
     if isinstance(cell, Scenario):
         return Session(cell).run()
     if isinstance(cell, MappingCell):
@@ -112,11 +120,14 @@ class ExperimentSuite:
     def scenarios(self) -> Tuple[Scenario, ...]:
         return tuple(c for c in self.cells if isinstance(c, Scenario))
 
-    def run(self, n_workers: Optional[int] = None) -> List:
+    def run(self, n_workers: Optional[int] = None) -> List[Any]:
         """Execute every cell (in parallel) and return results in order."""
         from repro.experiments.runner import run_cells
 
-        return run_cells(execute_cell, [(cell,) for cell in self.cells], n_workers)
+        results: List[Any] = run_cells(
+            execute_cell, [(cell,) for cell in self.cells], n_workers
+        )
+        return results
 
     def run_results(self, n_workers: Optional[int] = None) -> List[RunResult]:
         """Like :meth:`run` for all-scenario suites, typed as RunResults."""
@@ -131,7 +142,7 @@ class ExperimentSuite:
 
     # -- JSON -------------------------------------------------------------
     def to_json(self) -> Dict[str, Any]:
-        cells = []
+        cells: List[Dict[str, Any]] = []
         for cell in self.cells:
             if isinstance(cell, Scenario):
                 data = cell.to_json()
@@ -173,11 +184,11 @@ class ExperimentSuite:
 # ----------------------------------------------------------------------
 def combo_grid(
     name: str,
-    workloads: Sequence,
-    combos: Sequence,
+    workloads: Sequence[Workload],
+    combos: Sequence[StrategyCombo],
     seed: int,
     duration: float,
-    cost_model=None,
+    cost_model: Optional[CostModel] = None,
     aperiodic_interarrival_factor: float = 2.0,
 ) -> ExperimentSuite:
     """The Figures 5/6 grid: every combo x every task set, combo-major.
@@ -203,7 +214,7 @@ def combo_grid(
 
 
 def fold_combo_grid(
-    results: Sequence[RunResult], combos: Sequence, n_sets: int
+    results: Sequence[RunResult], combos: Sequence[StrategyCombo], n_sets: int
 ) -> Tuple[Dict[str, List[float]], int]:
     """Fold :func:`combo_grid` results exactly like the old serial loops:
     combo-major, accumulating deadline misses in submission order."""
@@ -211,7 +222,7 @@ def fold_combo_grid(
     per_combo_sets: Dict[str, List[float]] = {}
     deadline_misses = 0
     for combo in combos:
-        ratios = []
+        ratios: List[float] = []
         for _ in range(n_sets):
             result = next(outcomes)
             ratios.append(result.accepted_utilization_ratio)

@@ -47,22 +47,18 @@ import os
 import sys
 from typing import Callable, Iterable, List, Optional, Sequence, Tuple
 
-#: Environment variable overriding the default worker count.
-WORKERS_ENV = "REPRO_WORKERS"
+from repro.env import WORKERS_VAR, workers_override
+
+#: Environment variable overriding the default worker count (re-exported
+#: from :mod:`repro.env`, the designated config entry point).
+WORKERS_ENV = WORKERS_VAR
 
 
 def resolve_workers(n_workers: Optional[int] = None) -> int:
     """The worker count to use: argument > $REPRO_WORKERS > cpu_count."""
     if n_workers is None:
-        env = os.environ.get(WORKERS_ENV)
-        if env:
-            try:
-                n_workers = int(env)
-            except ValueError:
-                raise ValueError(
-                    f"${WORKERS_ENV} must be an integer, got {env!r}"
-                ) from None
-        else:
+        n_workers = workers_override()
+        if n_workers is None:
             n_workers = os.cpu_count() or 1
     return max(1, int(n_workers))
 

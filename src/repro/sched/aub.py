@@ -59,7 +59,6 @@ from __future__ import annotations
 
 import heapq
 import math
-import os
 from typing import (
     Callable,
     Dict,
@@ -72,6 +71,7 @@ from typing import (
     Tuple,
 )
 
+from repro.env import pure_python_forced
 from repro.errors import SchedulingError
 from repro.sim.monitor import TimeWeightedStat
 
@@ -84,7 +84,7 @@ try:
     import numpy as _np
 except ImportError:  # pragma: no cover - exercised by the no-numpy CI leg
     _np = None
-if os.environ.get("REPRO_PURE_PYTHON", "0") not in ("", "0"):
+if pure_python_forced():
     _np = None
 
 #: Below this many values the scalar loop beats the array round-trip.

@@ -1,0 +1,458 @@
+"""Every ``ConfigurationError`` branch in ``repro.api.scenario``.
+
+One test per raise site, each asserting on the message so a future
+reword (or a branch silently becoming unreachable) fails loudly.  The
+sections mirror the module: JSON codecs, :class:`WorkloadSource`,
+disturbances, :class:`Scenario` validation, JSON loading, and the
+builder.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import Burst, Scenario, Slowdown, WorkloadSource
+from repro.api.scenario import (
+    cost_model_from_json,
+    delay_model_from_json,
+    delay_model_to_json,
+    disturbance_from_json,
+    workload_from_json,
+)
+from repro.errors import ConfigurationError
+from repro.net.latency import DelayModel
+from repro.sim.rng import RngRegistry
+from repro.workloads.generator import (
+    RandomWorkloadParams,
+    generate_random_workload,
+)
+from repro.workloads.imbalanced import ImbalancedWorkloadParams
+
+
+def _workload(seed=2008):
+    return generate_random_workload(RngRegistry(seed).stream("wl"))
+
+
+def _scenario(**overrides):
+    kwargs = dict(workload=WorkloadSource.random(seed=1), duration=5.0)
+    kwargs.update(overrides)
+    return Scenario(**kwargs)
+
+
+# ----------------------------------------------------------------------
+# JSON codecs
+# ----------------------------------------------------------------------
+class TestCodecErrors:
+    def test_workload_unknown_field(self):
+        with pytest.raises(
+            ConfigurationError, match="unknown workload field\\(s\\): bogus"
+        ):
+            workload_from_json({"app_nodes": ["n1"], "bogus": 1})
+
+    def test_task_unknown_field(self):
+        data = {
+            "app_nodes": ["n1"],
+            "tasks": [{"task_id": "t", "wcet": 1}],
+        }
+        with pytest.raises(
+            ConfigurationError, match="unknown task field\\(s\\): wcet"
+        ):
+            workload_from_json(data)
+
+    def test_subtask_unknown_field(self):
+        data = {
+            "app_nodes": ["n1"],
+            "tasks": [
+                {
+                    "task_id": "t",
+                    "kind": "periodic",
+                    "deadline": 1.0,
+                    "subtasks": [{"index": 0, "nope": 1}],
+                }
+            ],
+        }
+        with pytest.raises(
+            ConfigurationError, match="unknown subtask field\\(s\\): nope"
+        ):
+            workload_from_json(data)
+
+    def test_cost_model_unknown_field(self):
+        with pytest.raises(
+            ConfigurationError, match="unknown cost model field\\(s\\): warp"
+        ):
+            cost_model_from_json({"warp": 9})
+
+    def test_delay_model_without_json_form(self):
+        class Opaque(DelayModel):  # pragma: no cover - sample() never runs
+            def sample(self, rng):
+                return 0.0
+
+        with pytest.raises(
+            ConfigurationError, match="no JSON representation"
+        ):
+            delay_model_to_json(Opaque())
+
+    def test_delay_model_unknown_type(self):
+        with pytest.raises(
+            ConfigurationError, match="unknown delay model type 'gamma'"
+        ):
+            delay_model_from_json({"type": "gamma"})
+
+    def test_delay_model_unknown_field(self):
+        with pytest.raises(
+            ConfigurationError, match="unknown delay model field\\(s\\): skew"
+        ):
+            delay_model_from_json({"type": "constant", "delay": 1.0, "skew": 2})
+
+    def test_delay_model_incomplete(self):
+        with pytest.raises(
+            ConfigurationError, match="incomplete uniform delay model"
+        ):
+            delay_model_from_json({"type": "uniform", "low": 0.1})
+
+
+# ----------------------------------------------------------------------
+# WorkloadSource validation
+# ----------------------------------------------------------------------
+class TestWorkloadSourceErrors:
+    def test_unknown_kind(self):
+        with pytest.raises(
+            ConfigurationError, match="unknown workload source kind 'psychic'"
+        ):
+            WorkloadSource(kind="psychic")
+
+    def test_explicit_needs_workload(self):
+        with pytest.raises(
+            ConfigurationError, match="explicit workload source needs a workload"
+        ):
+            WorkloadSource(kind="explicit")
+
+    def test_explicit_rejects_generator_fields(self):
+        with pytest.raises(ConfigurationError, match="conflicting fields"):
+            WorkloadSource(kind="explicit", workload=_workload(), seed=3)
+
+    def test_generated_rejects_embedded_workload(self):
+        with pytest.raises(
+            ConfigurationError, match="must not embed an explicit workload"
+        ):
+            WorkloadSource(kind="random", seed=1, workload=_workload())
+
+    def test_generated_needs_seed(self):
+        with pytest.raises(
+            ConfigurationError, match="random workload source needs a generator seed"
+        ):
+            WorkloadSource(kind="random")
+
+    def test_negative_index(self):
+        with pytest.raises(
+            ConfigurationError, match="workload index must be >= 0"
+        ):
+            WorkloadSource(kind="random", seed=1, index=-1)
+
+    def test_params_type_mismatch(self):
+        with pytest.raises(
+            ConfigurationError,
+            match="imbalanced workload source needs ImbalancedWorkloadParams",
+        ):
+            WorkloadSource(
+                kind="imbalanced", seed=1, params=RandomWorkloadParams()
+            )
+        with pytest.raises(
+            ConfigurationError,
+            match="random workload source needs RandomWorkloadParams",
+        ):
+            WorkloadSource(
+                kind="random", seed=1, params=ImbalancedWorkloadParams()
+            )
+
+    def test_from_json_unknown_field(self):
+        with pytest.raises(
+            ConfigurationError, match="unknown workload source field\\(s\\): extra"
+        ):
+            WorkloadSource.from_json({"kind": "random", "seed": 1, "extra": 2})
+
+    def test_from_json_explicit_without_workload(self):
+        with pytest.raises(
+            ConfigurationError, match="explicit workload source needs a workload"
+        ):
+            WorkloadSource.from_json({"kind": "explicit"})
+
+    def test_from_json_unknown_kind(self):
+        with pytest.raises(
+            ConfigurationError, match="unknown workload source kind 'psychic'"
+        ):
+            WorkloadSource.from_json({"kind": "psychic"})
+
+    def test_from_json_unknown_params_field(self):
+        with pytest.raises(
+            ConfigurationError, match="unknown workload params field\\(s\\): n_moons"
+        ):
+            WorkloadSource.from_json(
+                {"kind": "random", "seed": 1, "params": {"n_moons": 4}}
+            )
+
+
+# ----------------------------------------------------------------------
+# Disturbances
+# ----------------------------------------------------------------------
+class TestDisturbanceErrors:
+    def test_burst_negative_time(self):
+        with pytest.raises(ConfigurationError, match="burst time must be >= 0"):
+            Burst(time=-1.0, jobs=1)
+
+    def test_burst_negative_jobs(self):
+        with pytest.raises(
+            ConfigurationError, match="burst job count must be >= 0"
+        ):
+            Burst(time=1.0, jobs=-1)
+
+    def test_burst_nonpositive_spacing(self):
+        with pytest.raises(ConfigurationError, match="burst spacing must be > 0"):
+            Burst(time=1.0, jobs=1, spacing=0.0)
+
+    def test_slowdown_negative_time(self):
+        with pytest.raises(
+            ConfigurationError, match="slowdown time must be >= 0"
+        ):
+            Slowdown(time=-1.0, factor=0.5)
+
+    def test_slowdown_nonpositive_factor(self):
+        with pytest.raises(
+            ConfigurationError, match="slowdown factor must be > 0"
+        ):
+            Slowdown(time=1.0, factor=0.0)
+
+    def test_from_json_unknown_burst_field(self):
+        with pytest.raises(
+            ConfigurationError, match="unknown burst field\\(s\\): volume"
+        ):
+            disturbance_from_json(
+                {"type": "burst", "time": 1.0, "jobs": 2, "volume": 11}
+            )
+
+    def test_from_json_unknown_slowdown_field(self):
+        with pytest.raises(
+            ConfigurationError, match="unknown slowdown field\\(s\\): why"
+        ):
+            disturbance_from_json(
+                {"type": "slowdown", "time": 1.0, "factor": 0.5, "why": "x"}
+            )
+
+    def test_from_json_unknown_type(self):
+        with pytest.raises(
+            ConfigurationError,
+            match="unknown disturbance type 'quake'; expected 'burst' or 'slowdown'",
+        ):
+            disturbance_from_json({"type": "quake"})
+
+
+# ----------------------------------------------------------------------
+# Scenario validation
+# ----------------------------------------------------------------------
+class TestScenarioErrors:
+    def test_workload_must_be_source(self):
+        with pytest.raises(
+            ConfigurationError, match="workload must be a WorkloadSource"
+        ):
+            Scenario(workload=_workload())
+
+    def test_nonpositive_duration(self):
+        with pytest.raises(
+            ConfigurationError, match="scenario duration must be > 0, got 0.0"
+        ):
+            _scenario(duration=0.0)
+
+    def test_nonpositive_interarrival_factor(self):
+        with pytest.raises(
+            ConfigurationError,
+            match="aperiodic_interarrival_factor must be > 0, got -2.0",
+        ):
+            _scenario(aperiodic_interarrival_factor=-2.0)
+
+    def test_unknown_engine(self):
+        with pytest.raises(
+            ConfigurationError, match="unknown engine 'quantum'"
+        ):
+            _scenario(engine="quantum")
+
+    def test_duplicate_policy_params(self):
+        with pytest.raises(
+            ConfigurationError,
+            match="duplicate policy parameter name\\(s\\): \\['budget', 'budget'\\]",
+        ):
+            _scenario(
+                engine="replay",
+                policy="deferrable_server",
+                policy_params=(("budget", 0.1), ("budget", 0.2)),
+            )
+
+    def test_unknown_combo_surfaces_at_build_time(self):
+        with pytest.raises(
+            ConfigurationError, match="unknown strategy combo 'X_X_X'"
+        ):
+            _scenario(combo="X_X_X")
+
+    def test_replay_needs_policy(self):
+        with pytest.raises(
+            ConfigurationError, match="replay scenarios need an admission policy"
+        ):
+            _scenario(engine="replay")
+
+    def test_replay_rejects_disturbances(self):
+        with pytest.raises(
+            ConfigurationError, match="disturbances conflict\\s+with the replay engine"
+        ):
+            _scenario(
+                engine="replay",
+                policy="aub",
+                disturbances=(Burst(time=1.0, jobs=1),),
+            )
+
+    def test_replay_rejects_trace(self):
+        with pytest.raises(
+            ConfigurationError, match="trace=True conflicts\\s+with the replay engine"
+        ):
+            _scenario(engine="replay", policy="aub", trace=True)
+
+    def test_replay_rejects_cost_and_delay_models(self):
+        from repro.core.cost_model import CostModel
+
+        with pytest.raises(
+            ConfigurationError, match="cost/delay models\\s+conflict"
+        ):
+            _scenario(engine="replay", policy="aub", cost_model=CostModel())
+
+    def test_replay_rejects_arrival_batching(self):
+        with pytest.raises(
+            ConfigurationError, match="arrival_batching conflicts with the replay"
+        ):
+            _scenario(engine="replay", policy="aub", arrival_batching=True)
+
+    def test_policy_on_non_replay_engine(self):
+        with pytest.raises(
+            ConfigurationError,
+            match="admission policies only apply to the replay engine",
+        ):
+            _scenario(policy="aub")
+
+    def test_custom_arrival_stream_on_non_replay_engine(self):
+        with pytest.raises(
+            ConfigurationError,
+            match="a custom arrival_stream\\s+only applies to the replay engine",
+        ):
+            _scenario(arrival_stream="late_arrivals")
+
+    def test_distributed_requires_jnn(self):
+        with pytest.raises(
+            ConfigurationError, match="only the J_N_N\\s+configuration, got 'T_T_T'"
+        ):
+            _scenario(engine="distributed", combo="T_T_T")
+
+    def test_distributed_rejects_disturbances(self):
+        with pytest.raises(
+            ConfigurationError,
+            match="disturbances are not supported by the distributed engine",
+        ):
+            _scenario(
+                engine="distributed",
+                combo="J_N_N",
+                disturbances=(Slowdown(time=1.0, factor=0.5),),
+            )
+
+    def test_distributed_rejects_trace(self):
+        with pytest.raises(
+            ConfigurationError,
+            match="tracing is not supported by the distributed engine",
+        ):
+            _scenario(engine="distributed", combo="J_N_N", trace=True)
+
+    def test_unknown_disturbance_object(self):
+        with pytest.raises(
+            ConfigurationError, match="unknown disturbance object"
+        ):
+            _scenario(disturbances=("tornado",))
+
+    def test_overlapping_burst_index_ranges(self):
+        with pytest.raises(
+            ConfigurationError,
+            match=r"overlapping job index ranges \(100000, 100005\) and "
+            r"\(100003, 100007\)",
+        ):
+            _scenario(
+                disturbances=(
+                    Burst(time=1.0, jobs=5),
+                    Burst(time=2.0, jobs=4, base_index=100_003),
+                )
+            )
+
+    def test_zero_job_bursts_do_not_overlap(self):
+        scenario = _scenario(
+            disturbances=(
+                Burst(time=1.0, jobs=0),
+                Burst(time=2.0, jobs=0),
+            )
+        )
+        assert len(scenario.disturbances) == 2
+
+
+# ----------------------------------------------------------------------
+# Scenario JSON loading
+# ----------------------------------------------------------------------
+class TestScenarioJsonErrors:
+    def test_from_json_rejects_non_object(self):
+        with pytest.raises(
+            ConfigurationError, match="scenario JSON must be an object, got list"
+        ):
+            Scenario.from_json([1, 2, 3])
+
+    def test_from_json_unknown_field(self):
+        with pytest.raises(
+            ConfigurationError, match="unknown scenario field\\(s\\): turbo"
+        ):
+            Scenario.from_json(
+                {"workload": {"kind": "random", "seed": 1}, "turbo": True}
+            )
+
+    def test_from_json_needs_workload(self):
+        with pytest.raises(
+            ConfigurationError, match="scenario JSON needs a workload source"
+        ):
+            Scenario.from_json({"duration": 5.0})
+
+    def test_from_json_policy_params_must_be_object(self):
+        with pytest.raises(
+            ConfigurationError, match="policy_params must be an object"
+        ):
+            Scenario.from_json(
+                {
+                    "workload": {"kind": "random", "seed": 1},
+                    "engine": "replay",
+                    "policy": "aub",
+                    "policy_params": [1, 2],
+                }
+            )
+
+    def test_from_json_str_rejects_invalid_json(self):
+        with pytest.raises(
+            ConfigurationError, match="invalid scenario JSON"
+        ):
+            Scenario.from_json_str("{not json")
+
+
+# ----------------------------------------------------------------------
+# Builder
+# ----------------------------------------------------------------------
+class TestBuilderErrors:
+    def test_two_workload_sources_conflict(self):
+        builder = Scenario.builder().random_workload(seed=1)
+        with pytest.raises(
+            ConfigurationError,
+            match="already has a workload source \\(conflicting fields\\)",
+        ):
+            builder.workload(_workload())
+
+    def test_build_without_workload(self):
+        with pytest.raises(
+            ConfigurationError, match="scenario needs a workload source; call"
+        ):
+            Scenario.builder().duration(5.0).build()

@@ -1,0 +1,32 @@
+"""The public surface must stay ``mypy --strict``-clean.
+
+CI runs mypy in the lint job; this test runs the identical check so a
+developer with mypy installed gets the same signal from the test suite.
+Environments without mypy (the core install is dependency-free) skip.
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+
+def test_repro_api_is_strictly_typed():
+    pytest.importorskip("mypy")
+    proc = subprocess.run(
+        [sys.executable, "-m", "mypy", "--strict", "src/repro/api"],
+        cwd=REPO_ROOT,
+        capture_output=True,
+        text=True,
+    )
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+
+
+def test_py_typed_marker_ships_with_the_package():
+    assert (REPO_ROOT / "src" / "repro" / "py.typed").exists()
+    assert "py.typed" in (REPO_ROOT / "setup.py").read_text()

@@ -1,0 +1,14 @@
+"""Make the ``tools`` directory importable for the repro_lint test suite.
+
+The tier-1 run (``python -m pytest -x -q`` at the repo root) collects
+``tools/repro_lint/tests`` along with everything else; this conftest
+puts ``tools`` itself on ``sys.path`` so ``import repro_lint`` resolves
+without requiring PYTHONPATH juggling.
+"""
+
+import sys
+from pathlib import Path
+
+_TOOLS_DIR = str(Path(__file__).resolve().parent)
+if _TOOLS_DIR not in sys.path:
+    sys.path.insert(0, _TOOLS_DIR)

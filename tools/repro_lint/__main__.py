@@ -1,0 +1,8 @@
+"""Entry point for ``python -m repro_lint``."""
+
+import sys
+
+from repro_lint.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,118 @@
+"""The committed baseline: grandfathered findings with justifications.
+
+The baseline lets the lint gate be strict on *new* code without forcing
+a big-bang cleanup (or worse, blanket suppressions) on deliberate
+exceptions.  Each entry records the finding's line-number-free identity
+``(rule, path, message)`` plus a one-line human justification for why
+the finding stays.  Matching is a multiset subtraction: a file with two
+identical findings needs two baseline entries.
+
+Regenerate after intentional changes with::
+
+    python -m repro_lint src/ tests/ benchmarks/ --write-baseline
+
+which preserves the justification of every entry that still matches and
+stamps ``TODO: justify`` on new ones (fill those in before committing).
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from pathlib import Path
+from typing import Dict, List, Sequence, Tuple
+
+from repro_lint.engine import Finding
+
+BASELINE_VERSION = 1
+_TODO = "TODO: justify"
+
+Key = Tuple[str, str, str]  # (rule, path, message)
+
+
+class Baseline:
+    """Multiset of grandfathered findings, keyed line-number-free."""
+
+    def __init__(self, entries: Sequence[Dict[str, str]] = ()) -> None:
+        self.entries: List[Dict[str, str]] = [dict(e) for e in entries]
+
+    @staticmethod
+    def _key(entry: Dict[str, str]) -> Key:
+        return (entry["rule"], entry["path"], entry["message"])
+
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        data = json.loads(path.read_text(encoding="utf-8"))
+        if not isinstance(data, dict) or "findings" not in data:
+            raise ValueError(f"{path}: not a repro-lint baseline file")
+        version = data.get("version")
+        if version != BASELINE_VERSION:
+            raise ValueError(
+                f"{path}: unsupported baseline version {version!r} "
+                f"(this tool writes version {BASELINE_VERSION})"
+            )
+        entries = data["findings"]
+        for entry in entries:
+            missing = {"rule", "path", "message"} - set(entry)
+            if missing:
+                raise ValueError(
+                    f"{path}: baseline entry missing field(s) "
+                    f"{', '.join(sorted(missing))}: {entry!r}"
+                )
+        return cls(entries)
+
+    def save(self, path: Path) -> None:
+        entries = sorted(self.entries, key=self._key)
+        payload = {"version": BASELINE_VERSION, "findings": entries}
+        path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+
+    # -- matching --------------------------------------------------------
+    def split(
+        self, findings: Sequence[Finding]
+    ) -> Tuple[List[Finding], List[Dict[str, str]]]:
+        """Partition findings into (new, still-baselined-entries).
+
+        Returns the findings *not* covered by the baseline plus the list
+        of baseline entries that went unmatched (stale — the underlying
+        code was fixed and the entry should be pruned).
+        """
+        budget: Counter = Counter(self._key(e) for e in self.entries)
+        fresh: List[Finding] = []
+        for finding in findings:
+            key = finding.baseline_key
+            if budget.get(key, 0) > 0:
+                budget[key] -= 1
+            else:
+                fresh.append(finding)
+        stale = []
+        for entry in self.entries:
+            key = self._key(entry)
+            if budget.get(key, 0) > 0:
+                budget[key] -= 1
+                stale.append(entry)
+        return fresh, stale
+
+    @classmethod
+    def from_findings(
+        cls, findings: Sequence[Finding], previous: "Baseline"
+    ) -> "Baseline":
+        """A fresh baseline covering ``findings``, keeping old justifications."""
+        justifications: Dict[Key, List[str]] = {}
+        for entry in previous.entries:
+            justifications.setdefault(cls._key(entry), []).append(
+                entry.get("justification", _TODO)
+            )
+        entries: List[Dict[str, str]] = []
+        for finding in sorted(findings):
+            key = finding.baseline_key
+            pool = justifications.get(key)
+            justification = pool.pop(0) if pool else _TODO
+            entries.append(
+                {
+                    "rule": finding.rule_id,
+                    "path": finding.path,
+                    "message": finding.message,
+                    "justification": justification,
+                }
+            )
+        return cls(entries)

@@ -1,0 +1,317 @@
+"""The repro-lint core: one AST walk per file, rules as plugins.
+
+The engine parses each file once and walks the tree recursively while
+maintaining an ancestor stack (enclosing modules/classes/functions).
+Rules register which node types they want via :attr:`Rule.node_types`;
+the walk dispatches each node to every interested rule.  Rules yield
+:class:`Finding` objects; the engine drops findings whose line carries
+(or follows) an inline ``# repro-lint: disable=RULE`` comment, then
+subtracts the committed baseline before reporting.
+
+Rules are path-scoped: each rule declares ``include``/``exclude`` glob
+patterns (relative to the repo root, ``fnmatch`` syntax, a trailing
+``/`` prefix form also matches) so e.g. the wall-clock rule only fires
+inside the simulator/decision packages.  Project-wide rules (RL007)
+implement :meth:`Rule.check_project` instead of node visits.
+"""
+
+from __future__ import annotations
+
+import ast
+import fnmatch
+import io
+import tokenize
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple, Type
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    path: str  # repo-root-relative, posix separators
+    line: int
+    col: int
+    rule_id: str
+    message: str
+
+    @property
+    def baseline_key(self) -> Tuple[str, str, str]:
+        """Line-number-free identity used for baseline matching.
+
+        Keyed on (rule, path, message) so baselined findings survive
+        unrelated edits that shift line numbers; messages embed enough
+        of the offending expression to distinguish distinct sites, and
+        identical sites in one file are matched as a multiset.
+        """
+        return (self.rule_id, self.path, self.message)
+
+    def format_text(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.rule_id} {self.message}"
+
+    def to_json(self) -> Dict[str, object]:
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "rule": self.rule_id,
+            "message": self.message,
+        }
+
+
+class Context:
+    """Per-file state handed to rules during the walk."""
+
+    def __init__(self, path: str, tree: ast.Module, source: str) -> None:
+        self.path = path
+        self.tree = tree
+        self.source = source
+        #: Enclosing ClassDef/FunctionDef/AsyncFunctionDef nodes, outermost
+        #: first (the module itself is implicit and not on the stack).
+        self.ancestors: List[ast.AST] = []
+        #: Names imported at any level: "random" -> True when the module
+        #: object itself is bound; "choice" -> "random.choice" for
+        #: from-imports (rules consult this to resolve ambient calls).
+        self.module_imports: Set[str] = set()
+        self.from_imports: Dict[str, str] = {}
+        self._collect_imports(tree)
+
+    def _collect_imports(self, tree: ast.Module) -> None:
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    self.module_imports.add(alias.asname or alias.name)
+            elif isinstance(node, ast.ImportFrom) and node.module:
+                for alias in node.names:
+                    self.from_imports[alias.asname or alias.name] = (
+                        f"{node.module}.{alias.name}"
+                    )
+
+    def enclosing_function(self) -> Optional[ast.AST]:
+        for node in reversed(self.ancestors):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                return node
+        return None
+
+    def enclosing_class(self) -> Optional[ast.ClassDef]:
+        for node in reversed(self.ancestors):
+            if isinstance(node, ast.ClassDef):
+                return node
+        return None
+
+
+class Rule:
+    """Base class for one lint rule; subclasses self-register via REGISTRY.
+
+    Class attributes:
+
+    ``rule_id``
+        Stable identifier (``RL001``...) used in reports, suppressions
+        and the baseline.
+    ``summary`` / ``rationale``
+        One-liner for ``--list-rules`` and the invariant the rule
+        protects (mirrored in docs/LINTING.md).
+    ``node_types``
+        AST node classes the rule wants dispatched; empty for
+        project-level rules.
+    ``include`` / ``exclude``
+        Path scope patterns (repo-relative).  ``include=()`` means every
+        scanned file.
+    """
+
+    rule_id: str = ""
+    summary: str = ""
+    rationale: str = ""
+    node_types: Tuple[Type[ast.AST], ...] = ()
+    include: Tuple[str, ...] = ()
+    exclude: Tuple[str, ...] = ()
+
+    def applies_to(self, path: str) -> bool:
+        if self.include and not any(_match(path, pat) for pat in self.include):
+            return False
+        return not any(_match(path, pat) for pat in self.exclude)
+
+    def visit(self, node: ast.AST, ctx: Context) -> Iterator[Finding]:
+        """Called for every node whose type is in ``node_types``."""
+        return iter(())
+
+    def begin_module(self, ctx: Context) -> Iterator[Finding]:
+        """Called once per file before the walk (module-level checks)."""
+        return iter(())
+
+    def check_project(self, root: Path, paths: Sequence[str]) -> Iterator[Finding]:
+        """Called once per run with every scanned path (cross-file rules)."""
+        return iter(())
+
+    # Helper shared by several rules: a readable expression excerpt.
+    @staticmethod
+    def excerpt(node: ast.AST, limit: int = 60) -> str:
+        try:
+            text = ast.unparse(node)
+        except Exception:  # pragma: no cover - unparse is total on 3.9+
+            text = type(node).__name__
+        return text if len(text) <= limit else text[: limit - 3] + "..."
+
+
+def _match(path: str, pattern: str) -> bool:
+    """fnmatch with a directory-prefix convenience: ``src/repro/sim/``
+    matches everything under that directory."""
+    if pattern.endswith("/"):
+        return path.startswith(pattern)
+    return fnmatch.fnmatch(path, pattern)
+
+
+#: Inline suppression marker.  ``# repro-lint: disable=RL003`` (or
+#: ``disable=RL003,RL008`` / ``disable=all``) on the finding's line, or
+#: alone on the line directly above it.
+_SUPPRESS_PREFIX = "repro-lint:"
+
+
+def _suppressions(source: str) -> Dict[int, Set[str]]:
+    """Map line number -> rule ids suppressed on that line."""
+    suppressed: Dict[int, Set[str]] = {}
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        comments = [
+            (tok.start[0], tok.string, tok.line)
+            for tok in tokens
+            if tok.type == tokenize.COMMENT
+        ]
+    except tokenize.TokenError:  # pragma: no cover - parse already succeeded
+        return suppressed
+    for line, comment, physical in comments:
+        text = comment.lstrip("#").strip()
+        if not text.startswith(_SUPPRESS_PREFIX):
+            continue
+        directive = text[len(_SUPPRESS_PREFIX):].strip()
+        if not directive.startswith("disable="):
+            continue
+        rules = {r.strip().upper() for r in directive[len("disable="):].split(",")}
+        rules.discard("")
+        targets = suppressed.setdefault(line, set())
+        targets.update(rules)
+        # A comment-only line suppresses the statement below it.
+        if physical.strip().startswith("#"):
+            suppressed.setdefault(line + 1, set()).update(rules)
+    return suppressed
+
+
+def _is_suppressed(finding: Finding, suppressed: Dict[int, Set[str]]) -> bool:
+    rules = suppressed.get(finding.line)
+    if not rules:
+        return False
+    return "ALL" in rules or finding.rule_id in rules
+
+
+class LintEngine:
+    """Drives the per-file walks and the project-level checks."""
+
+    def __init__(self, rules: Sequence[Rule], root: Path) -> None:
+        self.rules = list(rules)
+        self.root = root
+        self._dispatch: Dict[Type[ast.AST], List[Rule]] = {}
+        for rule in self.rules:
+            for node_type in rule.node_types:
+                self._dispatch.setdefault(node_type, []).append(rule)
+
+    # -- single file -----------------------------------------------------
+    def lint_file(self, path: Path) -> List[Finding]:
+        rel = _relative(path, self.root)
+        source = path.read_text(encoding="utf-8")
+        return self.lint_source(source, rel)
+
+    def lint_source(self, source: str, rel_path: str) -> List[Finding]:
+        """Lint source text as if it lived at ``rel_path`` (repo-relative).
+
+        The virtual path drives rule scoping, which is how the unit-test
+        fixtures exercise path-scoped rules from outside their scope.
+        """
+        tree = ast.parse(source, filename=rel_path)
+        ctx = Context(rel_path, tree, source)
+        active = [r for r in self.rules if r.node_types and r.applies_to(rel_path)]
+        if not active:
+            return []
+        findings: List[Finding] = []
+        for rule in active:
+            findings.extend(rule.begin_module(ctx))
+        dispatch: Dict[Type[ast.AST], List[Rule]] = {}
+        for rule in active:
+            for node_type in rule.node_types:
+                dispatch.setdefault(node_type, []).append(rule)
+        self._walk(tree, ctx, dispatch, findings)
+        suppressed = _suppressions(source)
+        findings = [f for f in findings if not _is_suppressed(f, suppressed)]
+        findings.sort()
+        return findings
+
+    def _walk(
+        self,
+        node: ast.AST,
+        ctx: Context,
+        dispatch: Dict[Type[ast.AST], List[Rule]],
+        findings: List[Finding],
+    ) -> None:
+        for rule in dispatch.get(type(node), ()):
+            findings.extend(rule.visit(node, ctx))
+        scoped = isinstance(node, (ast.ClassDef, ast.FunctionDef, ast.AsyncFunctionDef))
+        if scoped:
+            ctx.ancestors.append(node)
+        for child in ast.iter_child_nodes(node):
+            self._walk(child, ctx, dispatch, findings)
+        if scoped:
+            ctx.ancestors.pop()
+
+    # -- whole run -------------------------------------------------------
+    def lint_paths(self, paths: Sequence[Path]) -> Tuple[List[Finding], List[str]]:
+        """Lint every ``.py`` file under ``paths``.
+
+        Returns ``(findings, errors)`` where ``errors`` are unparseable
+        files (syntax errors) — those are reported separately and make
+        the run fail with the internal-error exit code rather than being
+        silently skipped.
+        """
+        files = sorted(self._expand(paths))
+        findings: List[Finding] = []
+        errors: List[str] = []
+        rel_paths: List[str] = []
+        for path in files:
+            rel = _relative(path, self.root)
+            rel_paths.append(rel)
+            try:
+                findings.extend(self.lint_file(path))
+            except SyntaxError as exc:
+                errors.append(f"{rel}: syntax error: {exc.msg} (line {exc.lineno})")
+            except (OSError, UnicodeDecodeError) as exc:
+                errors.append(f"{rel}: unreadable: {exc}")
+        for rule in self.rules:
+            findings.extend(rule.check_project(self.root, rel_paths))
+        findings.sort()
+        return findings, errors
+
+    def _expand(self, paths: Sequence[Path]) -> Iterator[Path]:
+        for path in paths:
+            if path.is_dir():
+                yield from path.rglob("*.py")
+            elif path.suffix == ".py":
+                yield path
+
+
+def _relative(path: Path, root: Path) -> str:
+    try:
+        rel = path.resolve().relative_to(root.resolve())
+    except ValueError:
+        rel = path
+    return rel.as_posix()
+
+
+def lint_source(
+    source: str, rel_path: str, rules: Optional[Sequence[Rule]] = None,
+    root: Optional[Path] = None,
+) -> List[Finding]:
+    """Convenience for tests: lint a source string at a virtual path."""
+    from repro_lint.rules import all_rules
+
+    engine = LintEngine(list(rules) if rules is not None else all_rules(),
+                        root or Path.cwd())
+    return engine.lint_source(source, rel_path)

@@ -1,0 +1,50 @@
+"""Rule registry: importing this package registers every rule module.
+
+A rule module defines one or more :class:`repro_lint.engine.Rule`
+subclasses and decorates them with :func:`register`.  ``all_rules()``
+instantiates the full set in rule-id order — the engine, the CLI and
+the unit tests all build their rule lists from here, so dropping a new
+``rlNNN_*.py`` module into this package is the whole integration.
+"""
+
+from __future__ import annotations
+
+import importlib
+import pkgutil
+from typing import Dict, List, Type
+
+from repro_lint.engine import Rule
+
+_REGISTRY: Dict[str, Type[Rule]] = {}
+
+
+def register(cls: Type[Rule]) -> Type[Rule]:
+    """Class decorator: add a rule to the registry (id must be unique)."""
+    if not cls.rule_id:
+        raise ValueError(f"{cls.__name__} needs a rule_id")
+    existing = _REGISTRY.get(cls.rule_id)
+    if existing is not None and existing is not cls:
+        raise ValueError(
+            f"duplicate rule id {cls.rule_id}: {existing.__name__} and "
+            f"{cls.__name__}"
+        )
+    _REGISTRY[cls.rule_id] = cls
+    return cls
+
+
+def _load_rule_modules() -> None:
+    package = __name__
+    for module in pkgutil.iter_modules(__path__):
+        if module.name.startswith("rl"):
+            importlib.import_module(f"{package}.{module.name}")
+
+
+def all_rules() -> List[Rule]:
+    """Fresh instances of every registered rule, sorted by id."""
+    _load_rule_modules()
+    return [_REGISTRY[rule_id]() for rule_id in sorted(_REGISTRY)]
+
+
+def rule_classes() -> Dict[str, Type[Rule]]:
+    _load_rule_modules()
+    return dict(_REGISTRY)

@@ -1,0 +1,99 @@
+"""RL001: no wall-clock reads inside the simulated-time packages.
+
+The simulator owns time: every timestamp in ``sim``/``sched``/``core``/
+``net`` must come from the kernel's virtual clock so a run is a pure
+function of its scenario.  A single ``time.time()`` (or ``datetime.now``
+/ ``time.monotonic``) read makes results machine- and moment-dependent,
+which silently breaks replay parity and the bit-identical fan-out
+guarantee of the experiment runner.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro_lint.engine import Context, Finding, Rule
+from repro_lint.rules import register
+
+#: module -> functions that read the host clock.
+_CLOCK_CALLS = {
+    "time": {
+        "time",
+        "time_ns",
+        "monotonic",
+        "monotonic_ns",
+        "perf_counter",
+        "perf_counter_ns",
+        "process_time",
+        "process_time_ns",
+        "localtime",
+        "gmtime",
+    },
+    "datetime": {"now", "utcnow", "today"},
+    "date": {"today"},
+}
+
+
+@register
+class WallClockRule(Rule):
+    rule_id = "RL001"
+    summary = "no wall-clock reads in simulated-time packages"
+    rationale = (
+        "sim/sched/core/net run on the kernel's virtual clock; host-clock "
+        "reads make runs machine-dependent and break replay parity"
+    )
+    node_types = (ast.Call,)
+    include = (
+        "src/repro/sim/",
+        "src/repro/sched/",
+        "src/repro/core/",
+        "src/repro/net/",
+    )
+
+    def visit(self, node: ast.AST, ctx: Context) -> Iterator[Finding]:
+        assert isinstance(node, ast.Call)
+        name = _clock_call_name(node.func, ctx)
+        if name is not None:
+            yield Finding(
+                path=ctx.path,
+                line=node.lineno,
+                col=node.col_offset,
+                rule_id=self.rule_id,
+                message=(
+                    f"wall-clock read {name}() in a simulated-time package; "
+                    "use the kernel's virtual clock"
+                ),
+            )
+
+
+def _clock_call_name(func: ast.AST, ctx: Context) -> str | None:
+    # time.time() / datetime.datetime.now() style attribute calls.
+    if isinstance(func, ast.Attribute):
+        attr = func.attr
+        base = func.value
+        # Unwind datetime.datetime.now -> base name "datetime".
+        while isinstance(base, ast.Attribute):
+            base = base.value
+        if isinstance(base, ast.Name):
+            module = base.id
+            if module in _CLOCK_CALLS and attr in _CLOCK_CALLS[module]:
+                return f"{module}.{attr}"
+            # from datetime import datetime; datetime.now()
+            origin = ctx.from_imports.get(module)
+            if origin is not None:
+                root = origin.split(".", 1)[0]
+                leaf = origin.rsplit(".", 1)[-1]
+                if root in _CLOCK_CALLS or leaf in _CLOCK_CALLS:
+                    table = _CLOCK_CALLS.get(leaf, _CLOCK_CALLS.get(root, set()))
+                    if attr in table:
+                        return f"{origin}.{attr}"
+        return None
+    # from time import monotonic; monotonic()
+    if isinstance(func, ast.Name):
+        origin = ctx.from_imports.get(func.id)
+        if origin is not None:
+            module, _, leaf = origin.rpartition(".")
+            if module in _CLOCK_CALLS and leaf in _CLOCK_CALLS[module]:
+                return origin
+    return None

@@ -1,0 +1,110 @@
+"""RL002: no ambient ``random`` state; RNGs are threaded as parameters.
+
+The module-level functions of :mod:`random` (``random.random()``,
+``random.choice`` ...) all share one hidden global generator, and a bare
+``random.Random()`` seeds itself from the OS.  Either one makes a result
+depend on *every other* draw that happened first (or on nothing
+reproducible at all).  This repo derives every stream from a master seed
+in ``repro/sim/rng.py`` and passes ``random.Random`` instances down
+explicitly — the only place allowed to construct them from scratch.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro_lint.engine import Context, Finding, Rule
+from repro_lint.rules import register
+
+#: random-module functions that mutate/read the hidden global generator.
+_AMBIENT = {
+    "random", "seed", "randint", "randrange", "choice", "choices",
+    "shuffle", "sample", "uniform", "triangular", "betavariate",
+    "expovariate", "gammavariate", "gauss", "lognormvariate",
+    "normalvariate", "vonmisesvariate", "paretovariate",
+    "weibullvariate", "getrandbits", "getstate", "setstate", "randbytes",
+    "binomialvariate",
+}
+
+
+@register
+class AmbientRngRule(Rule):
+    rule_id = "RL002"
+    summary = "no ambient random.* calls; no unseeded random.Random()"
+    rationale = (
+        "shared global RNG state couples unrelated draws and unseeded "
+        "generators are irreproducible; derive streams via sim/rng.py and "
+        "thread them as parameters"
+    )
+    node_types = (ast.Call, ast.ImportFrom)
+    exclude = ("src/repro/sim/rng.py",)
+
+    def visit(self, node: ast.AST, ctx: Context) -> Iterator[Finding]:
+        if isinstance(node, ast.ImportFrom):
+            yield from self._check_import(node, ctx)
+            return
+        assert isinstance(node, ast.Call)
+        func = node.func
+        # random.<ambient>() and random.Random() attribute calls.
+        if isinstance(func, ast.Attribute) and isinstance(func.value, ast.Name):
+            if func.value.id == "random" and "random" in ctx.module_imports:
+                if func.attr in _AMBIENT:
+                    yield self._finding(
+                        node,
+                        ctx,
+                        f"ambient RNG call random.{func.attr}() uses the "
+                        "hidden global generator; thread a seeded "
+                        "random.Random through instead",
+                    )
+                elif func.attr == "Random" and not node.args and not node.keywords:
+                    yield self._finding(
+                        node,
+                        ctx,
+                        "unseeded random.Random() draws its seed from the "
+                        "OS; construct streams via repro.sim.rng.RngRegistry",
+                    )
+        # from random import choice; choice(...) / Random()
+        elif isinstance(func, ast.Name):
+            origin = ctx.from_imports.get(func.id)
+            if origin and origin.startswith("random."):
+                leaf = origin.split(".", 1)[1]
+                if leaf in _AMBIENT:
+                    yield self._finding(
+                        node,
+                        ctx,
+                        f"ambient RNG call {func.id}() (from random import "
+                        f"{leaf}) uses the hidden global generator",
+                    )
+                elif leaf == "Random" and not node.args and not node.keywords:
+                    yield self._finding(
+                        node,
+                        ctx,
+                        "unseeded Random() draws its seed from the OS; "
+                        "construct streams via repro.sim.rng.RngRegistry",
+                    )
+
+    def _check_import(self, node: ast.ImportFrom, ctx: Context) -> Iterator[Finding]:
+        if node.module != "random":
+            return
+        for alias in node.names:
+            if alias.name in _AMBIENT:
+                yield Finding(
+                    path=ctx.path,
+                    line=node.lineno,
+                    col=node.col_offset,
+                    rule_id=self.rule_id,
+                    message=(
+                        f"from random import {alias.name} binds an ambient "
+                        "global-state function; import Random and seed it"
+                    ),
+                )
+
+    def _finding(self, node: ast.AST, ctx: Context, message: str) -> Finding:
+        return Finding(
+            path=ctx.path,
+            line=node.lineno,
+            col=node.col_offset,
+            rule_id=self.rule_id,
+            message=message,
+        )

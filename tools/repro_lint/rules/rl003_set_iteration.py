@@ -1,0 +1,157 @@
+"""RL003: no iteration over unordered sets in decision/commit paths.
+
+``set``/``frozenset`` iterate in hash order, which for str keys varies
+run-to-run under ``PYTHONHASHSEED``.  Any loop in ``src/repro`` that
+folds floats, appends results, or commits ledger updates while walking a
+set can therefore produce different float-accumulation orders — the
+exact class of bug the batched-vs-sequential parity tests exist to
+catch, except nondeterministically.  Wrap the iterable in ``sorted(...)``
+(cheap next to any admission test), or suppress/baseline the site with a
+justification when the loop is provably order-independent (e.g. a pure
+early-exit membership screen).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from repro_lint.engine import Context, Finding, Rule
+from repro_lint.rules import register
+
+#: Call targets that materialize their argument in iteration order.
+_ORDER_SENSITIVE_CALLS = {"list", "tuple", "enumerate"}
+
+
+def _set_expr_reason(node: ast.AST) -> Optional[str]:
+    """Why ``node`` evaluates to an unordered set, or None."""
+    if isinstance(node, ast.Set):
+        return "a set literal"
+    if isinstance(node, ast.SetComp):
+        return "a set comprehension"
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        if node.func.id in ("set", "frozenset"):
+            return f"{node.func.id}(...)"
+    if isinstance(node, ast.BinOp) and isinstance(
+        node.op, (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)
+    ):
+        left = _set_expr_reason(node.left)
+        right = _set_expr_reason(node.right)
+        if left or right:
+            return "a set-algebra expression"
+    return None
+
+
+@register
+class SetIterationRule(Rule):
+    rule_id = "RL003"
+    summary = "no iteration over set/frozenset without sorted(...)"
+    rationale = (
+        "set iteration order varies under PYTHONHASHSEED; unordered walks "
+        "in decision/commit paths change float accumulation order and kill "
+        "bit-identical parity"
+    )
+    node_types = (ast.For, ast.comprehension, ast.Call)
+    include = ("src/repro/",)
+
+    def visit(self, node: ast.AST, ctx: Context) -> Iterator[Finding]:
+        if isinstance(node, ast.For):
+            yield from self._check_iter(node.iter, ctx, "for-loop")
+        elif isinstance(node, ast.comprehension):
+            yield from self._check_iter(node.iter, ctx, "comprehension")
+        elif isinstance(node, ast.Call):
+            yield from self._check_materialize(node, ctx)
+
+    def _check_iter(self, iter_node: ast.AST, ctx: Context, where: str) -> Iterator[Finding]:
+        reason = _set_expr_reason(iter_node)
+        if reason is None and isinstance(iter_node, ast.Name):
+            reason = self._name_is_set(iter_node.id, ctx)
+        if reason is not None:
+            yield Finding(
+                path=ctx.path,
+                line=iter_node.lineno,
+                col=iter_node.col_offset,
+                rule_id=self.rule_id,
+                message=(
+                    f"{where} iterates {reason} "
+                    f"({self.excerpt(iter_node)}) in unordered hash order; "
+                    "wrap it in sorted(...)"
+                ),
+            )
+
+    def _check_materialize(self, node: ast.Call, ctx: Context) -> Iterator[Finding]:
+        func = node.func
+        name = None
+        if isinstance(func, ast.Name) and func.id in _ORDER_SENSITIVE_CALLS:
+            name = func.id
+        elif (
+            isinstance(func, ast.Attribute)
+            and func.attr == "join"
+            and isinstance(func.value, (ast.Constant, ast.Name))
+        ):
+            name = "join"
+        if name is None or len(node.args) != 1:
+            return
+        reason = _set_expr_reason(node.args[0])
+        if reason is not None:
+            yield Finding(
+                path=ctx.path,
+                line=node.lineno,
+                col=node.col_offset,
+                rule_id=self.rule_id,
+                message=(
+                    f"{name}() materializes {reason} "
+                    f"({self.excerpt(node.args[0])}) in unordered hash "
+                    "order; wrap it in sorted(...)"
+                ),
+            )
+
+    def _name_is_set(self, name: str, ctx: Context) -> Optional[str]:
+        """Flag a bare name iter only when every assignment to it in the
+        enclosing scope is a set expression (conservative: parameters,
+        mixed assignments and unknown bindings stay silent)."""
+        scope: ast.AST = ctx.enclosing_function() or ctx.tree
+        if isinstance(scope, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            params = {a.arg for a in scope.args.args}
+            params.update(a.arg for a in scope.args.posonlyargs)
+            params.update(a.arg for a in scope.args.kwonlyargs)
+            if scope.args.vararg:
+                params.add(scope.args.vararg.arg)
+            if scope.args.kwarg:
+                params.add(scope.args.kwarg.arg)
+            if name in params:
+                return None
+        assignments = []
+        rebound_unknown = False
+        for sub in ast.walk(scope):
+            if isinstance(sub, ast.Assign):
+                for target in sub.targets:
+                    if isinstance(target, ast.Name) and target.id == name:
+                        assignments.append(sub.value)
+                    elif not isinstance(target, ast.Name) and any(
+                        isinstance(n, ast.Name) and n.id == name
+                        for n in ast.walk(target)
+                    ):
+                        rebound_unknown = True
+            elif isinstance(sub, ast.AnnAssign):
+                if (
+                    isinstance(sub.target, ast.Name)
+                    and sub.target.id == name
+                    and sub.value is not None
+                ):
+                    assignments.append(sub.value)
+            elif isinstance(sub, (ast.For, ast.AugAssign, ast.withitem)):
+                target = getattr(sub, "target", None) or getattr(
+                    sub, "optional_vars", None
+                )
+                if target is not None and any(
+                    isinstance(n, ast.Name) and n.id == name
+                    for n in ast.walk(target)
+                ):
+                    rebound_unknown = True
+        if rebound_unknown or not assignments:
+            return None
+        reasons = [_set_expr_reason(value) for value in assignments]
+        if all(reasons):
+            return f"the set-valued name {name!r} (assigned from {reasons[0]})"
+        return None

@@ -1,0 +1,100 @@
+"""RL004: no ``==``/``!=`` on float expressions outside parity modules.
+
+Float equality is almost always a latent tolerance bug — *except* in
+this repo's oracle-parity tests, where exact equality is the entire
+point (batched paths must produce bit-identical floats to their
+sequential oracles).  So the designated parity/property test modules are
+exempt, and everything else must either use the EPSILON-style tolerance
+helpers or carry an explicit justification (suppression or baseline
+entry — e.g. an exact ``x == 0.0`` skip of a no-op delta is legitimate
+and self-documenting once justified).
+
+Detection is syntactic: a comparison is flagged when either side is an
+obvious float expression — a float literal, a ``float(...)`` cast, or a
+``math.*`` call — since Python ASTs carry no type information.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro_lint.engine import Context, Finding, Rule
+from repro_lint.rules import register
+
+#: Calls that ARE tolerance helpers: comparing against them is the fix,
+#: not the bug.
+_TOLERANCE_HELPERS = {"approx", "isclose"}
+
+
+def _is_tolerance_helper(node: ast.AST) -> bool:
+    if not isinstance(node, ast.Call):
+        return False
+    func = node.func
+    name = func.id if isinstance(func, ast.Name) else (
+        func.attr if isinstance(func, ast.Attribute) else None
+    )
+    return name in _TOLERANCE_HELPERS
+
+
+def _is_float_expr(node: ast.AST, ctx: Context) -> bool:
+    if isinstance(node, ast.Constant):
+        return isinstance(node.value, float)
+    if isinstance(node, ast.UnaryOp):
+        return _is_float_expr(node.operand, ctx)
+    if isinstance(node, ast.BinOp):
+        if isinstance(node.op, ast.Div):
+            # True division always yields a float.
+            return True
+        return _is_float_expr(node.left, ctx) or _is_float_expr(node.right, ctx)
+    if isinstance(node, ast.Call):
+        func = node.func
+        if isinstance(func, ast.Name):
+            if func.id == "float":
+                return True
+            origin = ctx.from_imports.get(func.id, "")
+            return origin.startswith("math.")
+        if isinstance(func, ast.Attribute) and isinstance(func.value, ast.Name):
+            return func.value.id == "math"
+    return False
+
+
+@register
+class FloatEqualityRule(Rule):
+    rule_id = "RL004"
+    summary = "no ==/!= on float expressions outside parity-test modules"
+    rationale = (
+        "float equality is a tolerance bug outside the oracle-parity tests "
+        "where bit-identity is the contract; use EPSILON helpers or "
+        "justify the exact comparison"
+    )
+    node_types = (ast.Compare,)
+    # Parity/property modules assert exact float equality on purpose.
+    exclude = (
+        "tests/test_api_parity.py",
+        "tests/test_property_*.py",
+        "tests/test_pairing.py",
+    )
+
+    def visit(self, node: ast.AST, ctx: Context) -> Iterator[Finding]:
+        assert isinstance(node, ast.Compare)
+        operands = [node.left, *node.comparators]
+        for op, left, right in zip(node.ops, operands, operands[1:]):
+            if not isinstance(op, (ast.Eq, ast.NotEq)):
+                continue
+            if _is_tolerance_helper(left) or _is_tolerance_helper(right):
+                continue
+            if _is_float_expr(left, ctx) or _is_float_expr(right, ctx):
+                symbol = "==" if isinstance(op, ast.Eq) else "!="
+                yield Finding(
+                    path=ctx.path,
+                    line=node.lineno,
+                    col=node.col_offset,
+                    rule_id=self.rule_id,
+                    message=(
+                        f"float {symbol} comparison "
+                        f"({self.excerpt(left)} {symbol} {self.excerpt(right)}) "
+                        "outside a designated parity module; use a tolerance "
+                        "helper or justify the exact comparison"
+                    ),
+                )

@@ -1,0 +1,84 @@
+"""RL007: every public ``repro.api`` symbol is documented in docs/API.md.
+
+``repro.api`` is the single supported surface; an exported symbol the
+API document never mentions is either an accidental export or an
+undocumented feature — both erode the "one public surface" contract the
+PR 2 redesign established.  The rule reads ``__all__`` from
+``src/repro/api/__init__.py`` (statically — no import) and checks each
+name appears somewhere in ``docs/API.md``.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from pathlib import Path
+from typing import Iterator, List, Sequence, Tuple
+
+from repro_lint.engine import Finding, Rule
+from repro_lint.rules import register
+
+_API_INIT = "src/repro/api/__init__.py"
+_API_DOC = "docs/API.md"
+
+
+@register
+class ApiDocsRule(Rule):
+    rule_id = "RL007"
+    summary = "public repro.api symbols must appear in docs/API.md"
+    rationale = (
+        "repro.api is the single supported surface; an undocumented "
+        "export is either accidental or an undocumented feature"
+    )
+    node_types = ()  # project-level: no per-node visits
+
+    def check_project(self, root: Path, paths: Sequence[str]) -> Iterator[Finding]:
+        if _API_INIT not in paths:
+            return
+        init_path = root / _API_INIT
+        doc_path = root / _API_DOC
+        if not doc_path.exists():
+            yield Finding(
+                path=_API_DOC,
+                line=1,
+                col=0,
+                rule_id=self.rule_id,
+                message=(
+                    f"{_API_DOC} is missing but {_API_INIT} exports public "
+                    "symbols that must be documented there"
+                ),
+            )
+            return
+        doc_text = doc_path.read_text(encoding="utf-8")
+        for name, line in self._exported(init_path):
+            if not re.search(rf"\b{re.escape(name)}\b", doc_text):
+                yield Finding(
+                    path=_API_INIT,
+                    line=line,
+                    col=0,
+                    rule_id=self.rule_id,
+                    message=(
+                        f"public repro.api symbol {name!r} is not mentioned "
+                        f"in {_API_DOC}; document it or drop it from __all__"
+                    ),
+                )
+
+    @staticmethod
+    def _exported(init_path: Path) -> List[Tuple[str, int]]:
+        """(name, lineno) for every string element of ``__all__``."""
+        tree = ast.parse(init_path.read_text(encoding="utf-8"))
+        for node in tree.body:
+            if isinstance(node, ast.Assign):
+                targets = [
+                    t.id for t in node.targets if isinstance(t, ast.Name)
+                ]
+                if "__all__" in targets and isinstance(
+                    node.value, (ast.List, ast.Tuple)
+                ):
+                    return [
+                        (element.value, element.lineno)
+                        for element in node.value.elts
+                        if isinstance(element, ast.Constant)
+                        and isinstance(element.value, str)
+                    ]
+        return []

@@ -1,0 +1,68 @@
+"""RL008: no mutable default arguments.
+
+A ``def f(acc=[])`` default is evaluated once and shared by every call —
+state leaks between invocations, and in this repo between *runs* of the
+same experiment in one process, which is exactly the cross-run coupling
+the seed-complete Scenario design exists to rule out.  Use ``None`` and
+construct inside the body (or a frozen/tuple default).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from repro_lint.engine import Context, Finding, Rule
+from repro_lint.rules import register
+
+_MUTABLE_CALLS = {"list", "dict", "set", "bytearray", "defaultdict", "deque", "Counter"}
+
+
+def _mutable_reason(node: ast.AST) -> Optional[str]:
+    if isinstance(node, ast.List):
+        return "list literal"
+    if isinstance(node, ast.Dict):
+        return "dict literal"
+    if isinstance(node, ast.Set):
+        return "set literal"
+    if isinstance(node, (ast.ListComp, ast.DictComp, ast.SetComp)):
+        return "comprehension"
+    if isinstance(node, ast.Call):
+        func = node.func
+        name = func.id if isinstance(func, ast.Name) else (
+            func.attr if isinstance(func, ast.Attribute) else None
+        )
+        if name in _MUTABLE_CALLS:
+            return f"{name}() call"
+    return None
+
+
+@register
+class MutableDefaultRule(Rule):
+    rule_id = "RL008"
+    summary = "no dict/list/set mutable default arguments"
+    rationale = (
+        "mutable defaults are evaluated once and shared across calls, "
+        "leaking state between runs in one process"
+    )
+    node_types = (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+
+    def visit(self, node: ast.AST, ctx: Context) -> Iterator[Finding]:
+        args = node.args  # type: ignore[attr-defined]
+        for default in list(args.defaults) + [
+            d for d in args.kw_defaults if d is not None
+        ]:
+            reason = _mutable_reason(default)
+            if reason is not None:
+                name = getattr(node, "name", "<lambda>")
+                yield Finding(
+                    path=ctx.path,
+                    line=default.lineno,
+                    col=default.col_offset,
+                    rule_id=self.rule_id,
+                    message=(
+                        f"mutable default argument ({reason}) on {name}() "
+                        "is shared across calls; default to None and build "
+                        "inside the body"
+                    ),
+                )

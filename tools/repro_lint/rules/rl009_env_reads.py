@@ -1,0 +1,61 @@
+"""RL009: environment variables are read only in designated entry points.
+
+A scenario is supposed to be seed-complete: the same Scenario JSON must
+produce the same result on any machine.  ``os.environ`` reads scattered
+through the engine re-introduce ambient configuration that never appears
+in the scenario, so two "identical" runs diverge because of a forgotten
+shell export.  All environment access in ``src/repro`` goes through the
+designated config entry points (``repro/env.py``, and the CLI which is
+by definition process-boundary code); everything else receives plain
+parameters.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro_lint.engine import Context, Finding, Rule
+from repro_lint.rules import register
+
+
+@register
+class EnvReadRule(Rule):
+    rule_id = "RL009"
+    summary = "os.environ reads only in designated config entry points"
+    rationale = (
+        "ambient env reads make 'identical' scenarios machine-dependent; "
+        "route them through repro/env.py and pass plain parameters down"
+    )
+    node_types = (ast.Attribute, ast.Name)
+    include = ("src/",)
+    exclude = ("src/repro/env.py", "src/repro/cli.py")
+
+    def visit(self, node: ast.AST, ctx: Context) -> Iterator[Finding]:
+        if isinstance(node, ast.Attribute):
+            if (
+                node.attr in ("environ", "getenv", "putenv", "environb")
+                and isinstance(node.value, ast.Name)
+                and node.value.id == "os"
+                and "os" in ctx.module_imports
+            ):
+                yield self._finding(node, ctx, f"os.{node.attr}")
+        elif isinstance(node, ast.Name):
+            origin = ctx.from_imports.get(node.id)
+            if origin in ("os.environ", "os.getenv") and not isinstance(
+                node.ctx, ast.Store
+            ):
+                yield self._finding(node, ctx, origin)
+
+    def _finding(self, node: ast.AST, ctx: Context, what: str) -> Finding:
+        return Finding(
+            path=ctx.path,
+            line=node.lineno,
+            col=node.col_offset,
+            rule_id=self.rule_id,
+            message=(
+                f"{what} read outside the designated config entry points "
+                "(repro/env.py, repro/cli.py); accept a parameter and "
+                "resolve the env var at the entry point"
+            ),
+        )

@@ -1,0 +1,19 @@
+"""RL001 negative fixture: virtual time only (linted as src/repro/sched/...)."""
+import time
+
+
+def stamp_decision(sim, log):
+    # The kernel's virtual clock is the only legal time source here.
+    log.append(sim.now)
+    return log
+
+
+def format_duration(seconds):
+    # Converting a *duration* is fine; only clock reads are flagged.
+    return time.strftime("%M:%S", (0, 0, 0, 0, 0, 0, 0, 0, 0))
+
+
+def sleepy(duration):
+    # time.sleep does not read the clock into the decision path.
+    time.sleep(0)
+    return duration

@@ -1,0 +1,15 @@
+"""RL001 positive fixture: wall-clock reads (linted as src/repro/sched/...)."""
+import time
+import datetime
+from time import monotonic
+from datetime import datetime as dt
+
+
+def stamp_decision(log):
+    log.append(time.time())  # expect: RL001
+    log.append(time.monotonic())  # expect: RL001
+    log.append(time.perf_counter())  # expect: RL001
+    log.append(monotonic())  # expect: RL001
+    log.append(datetime.datetime.now())  # expect: RL001
+    log.append(dt.now())  # expect: RL001
+    return log

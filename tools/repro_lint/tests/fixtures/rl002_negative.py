@@ -1,0 +1,17 @@
+"""RL002 negative fixture: seeded generators threaded as parameters."""
+import random
+from random import Random
+
+
+def draw(rng: random.Random, options):
+    # RNGs arrive as parameters; no hidden global state involved.
+    return rng.choice(options), rng.random()
+
+
+def derive_stream(master_seed: int) -> random.Random:
+    # Explicitly seeded construction is the sanctioned pattern.
+    return random.Random(master_seed)
+
+
+def derive_other(seed: int) -> Random:
+    return Random(seed * 2 + 1)

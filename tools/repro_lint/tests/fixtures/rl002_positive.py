@@ -1,0 +1,13 @@
+"""RL002 positive fixture: ambient RNG state."""
+import random
+from random import choice  # expect: RL002
+
+
+def draw_everything(options):
+    jitter = random.random()  # expect: RL002
+    random.seed(42)  # expect: RL002
+    pick = random.choice(options)  # expect: RL002
+    random.shuffle(options)  # expect: RL002
+    unseeded = random.Random()  # expect: RL002
+    picked = choice(options)  # expect: RL002
+    return jitter, pick, unseeded, picked

@@ -1,0 +1,21 @@
+"""RL003 negative fixture: sorted materialization and membership tests."""
+
+
+def commit_order(visits, weights):
+    total = 0.0
+    for node in sorted(set(visits)):
+        total += weights[node]
+    doubled = [weights[n] for n in sorted(frozenset(visits))]
+    if "app1" in set(visits):  # membership, not iteration
+        total += 1.0
+    touched = set(visits)
+    for node in sorted(touched):
+        total += weights[node]
+    mixed = visits  # parameter: origin unknown, stays silent
+    for node in mixed:
+        total += weights[node]
+    rebound = set(visits)
+    rebound = list(rebound)  # mixed assignments: stays silent
+    for node in rebound:
+        total += weights[node]
+    return total, doubled

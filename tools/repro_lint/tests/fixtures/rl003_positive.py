@@ -1,0 +1,14 @@
+"""RL003 positive fixture: unordered set iteration in a decision path."""
+
+
+def commit_order(visits, weights):
+    total = 0.0
+    for node in set(visits):  # expect: RL003
+        total += weights[node]
+    doubled = [weights[n] for n in frozenset(visits)]  # expect: RL003
+    materialized = list({v for v in visits})  # expect: RL003
+    pair = tuple({1, 2})  # expect: RL003
+    touched = set(visits)
+    for node in touched:  # expect: RL003
+        total += weights[node]
+    return total, doubled, materialized, pair

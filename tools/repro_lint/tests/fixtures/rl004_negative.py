@@ -1,0 +1,13 @@
+"""RL004 negative fixture: tolerance helpers and integer comparisons."""
+import math
+
+EPSILON = 1e-9
+
+
+def check(utilization, bound, approx):
+    tolerant = abs(utilization - bound) < EPSILON
+    close = math.isclose(utilization, bound) == True  # noqa: E712
+    approxed = utilization == approx(1.5)
+    integers = 3 == len([bound])
+    ordering = utilization <= 1.5  # inequalities are fine
+    return tolerant, close, approxed, integers, ordering

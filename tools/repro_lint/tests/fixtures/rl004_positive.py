@@ -1,0 +1,11 @@
+"""RL004 positive fixture: float equality outside parity modules."""
+import math
+
+
+def check(utilization, bound, samples):
+    exact = utilization == 1.5  # expect: RL004
+    zeroish = 0.0 != bound  # expect: RL004
+    cast = float(bound) == utilization  # expect: RL004
+    ratio = samples / 2 == bound  # expect: RL004
+    rooted = math.sqrt(bound) == 2.0  # expect: RL004
+    return exact, zeroish, cast, ratio, rooted

@@ -1,0 +1,14 @@
+"""RL005 negative fixture: the frozen-dataclass escape hatch."""
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Frozen:
+    values: tuple
+
+    def __post_init__(self):
+        # Canonical normalization inside the defining class.
+        object.__setattr__(self, "values", tuple(sorted(self.values)))
+
+    def renormalize(self):
+        object.__setattr__(self, "values", tuple(self.values))

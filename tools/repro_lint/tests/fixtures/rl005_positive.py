@@ -1,0 +1,11 @@
+"""RL005 positive fixture: mutating someone else's frozen instance."""
+
+
+def sneak_label(scenario, text):
+    object.__setattr__(scenario, "label", text)  # expect: RL005
+    return scenario
+
+
+class Rewriter:
+    def rewrite(self, other, value):
+        object.__setattr__(other, "value", value)  # expect: RL005

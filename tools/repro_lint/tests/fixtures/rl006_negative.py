@@ -1,0 +1,12 @@
+"""RL006 negative fixture: module-level cell functions pickle fine."""
+from repro.experiments.runner import run_cells
+
+
+def double_cell(value):
+    return value * 2
+
+
+def fan_out(cells):
+    # cost_key never crosses the process boundary (it orders submission
+    # in the parent), so a lambda there is legal.
+    return run_cells(double_cell, cells, cost_key=lambda cell: -cell[0])

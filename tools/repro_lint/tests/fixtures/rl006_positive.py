@@ -1,0 +1,12 @@
+"""RL006 positive fixture: unpicklable payloads handed to the pool."""
+from repro.experiments.runner import run_cells
+
+
+def fan_out(cells):
+    bad = run_cells(lambda cell: cell * 2, cells)  # expect: RL006
+
+    def local_cell(value):
+        return value + 1
+
+    worse = run_cells(local_cell, cells)  # expect: RL006
+    return bad, worse

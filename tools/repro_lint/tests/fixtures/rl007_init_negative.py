@@ -1,0 +1,9 @@
+"""RL007 negative fixture: every export appears in the API document."""
+
+Scenario = object()
+Session = object()
+
+__all__ = [
+    "Scenario",
+    "Session",
+]

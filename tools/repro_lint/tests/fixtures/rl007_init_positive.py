@@ -1,0 +1,16 @@
+"""RL007 positive fixture: ``__all__`` exports an undocumented symbol.
+
+The test installs this file as ``src/repro/api/__init__.py`` in a
+scratch tree next to ``rl007_doc.md`` (as ``docs/API.md``), which
+documents ``Scenario`` and ``Session`` but not ``HiddenKnob``.
+"""
+
+Scenario = object()
+Session = object()
+HiddenKnob = object()
+
+__all__ = [
+    "Scenario",
+    "Session",
+    "HiddenKnob",  # expect: RL007
+]

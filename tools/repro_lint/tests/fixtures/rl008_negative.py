@@ -1,0 +1,16 @@
+"""RL008 negative fixture: immutable defaults and the None idiom."""
+
+
+def accumulate(value, acc=None):
+    if acc is None:
+        acc = []
+    acc.append(value)
+    return acc
+
+
+def tally(key, counts=(), label="total", limit=10):
+    return dict(counts, **{key: label, "limit": limit})
+
+
+def build(items=frozenset()):
+    return items

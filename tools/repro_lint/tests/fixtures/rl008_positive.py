@@ -1,0 +1,20 @@
+"""RL008 positive fixture: mutable default arguments."""
+
+
+def accumulate(value, acc=[]):  # expect: RL008
+    acc.append(value)
+    return acc
+
+
+def tally(key, counts={}):  # expect: RL008
+    counts[key] = counts.get(key, 0) + 1
+    return counts
+
+
+def register(name, *, seen=set()):  # expect: RL008
+    seen.add(name)
+    return seen
+
+
+def build(items=list()):  # expect: RL008
+    return items

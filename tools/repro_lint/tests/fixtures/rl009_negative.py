@@ -1,0 +1,8 @@
+"""RL009 negative fixture: parameters instead of ambient lookups."""
+
+
+def resolve_workers(n_workers, default):
+    # The entry point resolved the env var; this layer takes parameters.
+    if n_workers is None:
+        n_workers = default
+    return max(1, int(n_workers))

@@ -1,0 +1,10 @@
+"""RL009 positive fixture: ambient env reads inside the engine."""
+import os
+from os import environ  # binding alone is fine; reads are flagged
+
+
+def resolve_workers():
+    raw = os.environ.get("REPRO_WORKERS")  # expect: RL009
+    fallback = os.getenv("REPRO_FALLBACK", "1")  # expect: RL009
+    direct = environ["PATH"]  # expect: RL009
+    return raw, fallback, direct
