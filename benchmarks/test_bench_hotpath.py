@@ -442,6 +442,22 @@ def _measure_kernel(n_events: int = 120_000):
 # The benchmark
 # ----------------------------------------------------------------------
 def test_bench_hotpath():
+    # The speedup floors compare the *production* hot paths (incremental
+    # vs naive admission).  The runtime sanitizer (REPRO_SANITIZE=1)
+    # deliberately turns every admissible() into a fresh recompute of the
+    # incremental caches — O(registered tasks) per test — which inverts
+    # exactly the asymmetry measured here.  Disarm it for the measurement
+    # window only (restored below): the sanitize CI leg proves
+    # determinism on the functional suite, not on throughput numbers.
+    saved_sanitize = os.environ.pop("REPRO_SANITIZE", None)
+    try:
+        _run_bench_hotpath()
+    finally:
+        if saved_sanitize is not None:
+            os.environ["REPRO_SANITIZE"] = saved_sanitize
+
+
+def _run_bench_hotpath():
     kernel_rate = _measure_kernel()
 
     admission = {}

@@ -306,6 +306,9 @@ class MiddlewareSystem:
         return self._results(end, arrived)
 
     def _results(self, end: float, arrived: int) -> SystemResults:
+        # Under REPRO_SANITIZE=1 the registry proxies every stream; a
+        # run may not end with a draw some component took behind them.
+        self.env.audit_rngs()
         return SystemResults(
             combo_label=self.combo.label,
             duration=end,

@@ -57,6 +57,14 @@ class RuntimeEnv:
         """RNG stream for service-operation cost jitter."""
         return self.rngs.stream("cost")
 
+    def audit_rngs(self) -> None:
+        """Fail on unattributed RNG draws (``REPRO_SANITIZE=1`` only).
+
+        Called at run boundaries (see ``MiddlewareSystem._results``); a
+        no-op unless the registry was constructed under the sanitizer.
+        """
+        self.rngs.audit()
+
     def subtask_instance(self, task_id: str, index: int, node: str):
         """Look up the deployed subtask component for (task, stage, node)."""
         try:

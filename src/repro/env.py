@@ -26,6 +26,9 @@ WORKERS_VAR = "REPRO_WORKERS"
 #: Force the scalar f(U) path even when numpy is importable.
 PURE_PYTHON_VAR = "REPRO_PURE_PYTHON"
 
+#: Enable the runtime determinism sanitizer (see :mod:`repro.sanitize`).
+SANITIZE_VAR = "REPRO_SANITIZE"
+
 
 def flag(name: str, default: bool = False) -> bool:
     """An on/off env knob: unset means ``default``; ``""`` and ``"0"``
@@ -43,6 +46,20 @@ def pure_python_forced() -> bool:
     knob exists so both paths can be exercised on one machine.
     """
     return flag(PURE_PYTHON_VAR)
+
+
+def sanitize_enabled() -> bool:
+    """True when ``$REPRO_SANITIZE`` turns the runtime sanitizer on.
+
+    Consulted at *object construction* (ledgers, analyzers, RNG
+    registries) and at each ``run_cells`` dispatch, never cached at
+    import, so one process can build sanitized and unsanitized systems
+    side by side (the fault-injection tests rely on this).  The knob is
+    process-ambient by design: local worker processes inherit it, but a
+    distributed executor must forward it explicitly (see
+    docs/LINTING.md, "Runtime sanitizer").
+    """
+    return flag(SANITIZE_VAR)
 
 
 def workers_override() -> Optional[int]:

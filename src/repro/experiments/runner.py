@@ -47,7 +47,8 @@ import os
 import sys
 from typing import Callable, Iterable, List, Optional, Sequence, Tuple
 
-from repro.env import WORKERS_VAR, workers_override
+from repro.env import WORKERS_VAR, sanitize_enabled, workers_override
+from repro.sanitize import pickle_canary
 
 #: Environment variable overriding the default worker count (re-exported
 #: from :mod:`repro.env`, the designated config entry point).
@@ -138,6 +139,14 @@ def run_cells(
     scheduling policy is invisible to callers.
     """
     cell_list = [tuple(cell) for cell in cells]
+    if sanitize_enabled():
+        # REPRO_SANITIZE=1: canary every payload *before* choosing a
+        # dispatch path, so a cell that could not cross (or could not
+        # deterministically cross) a process boundary fails identically
+        # whether this run happens to go serial or parallel.
+        pickle_canary(fn, f"run_cells function {getattr(fn, '__name__', fn)!r}")
+        for index, cell in enumerate(cell_list):
+            pickle_canary(cell, f"run_cells cell #{index}")
     workers = min(resolve_workers(n_workers), len(cell_list))
     if workers <= 1 or len(cell_list) <= 1:
         return [fn(*cell) for cell in cell_list]

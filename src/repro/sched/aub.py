@@ -71,8 +71,9 @@ from typing import (
     Tuple,
 )
 
-from repro.env import pure_python_forced
+from repro.env import pure_python_forced, sanitize_enabled
 from repro.errors import SchedulingError
+from repro.sanitize import LedgerShadow, SanitizeViolation
 from repro.sim.monitor import TimeWeightedStat
 
 # numpy is an optional accelerator (the ``fast`` extra): the per-node
@@ -239,6 +240,13 @@ class SyntheticUtilizationLedger:
         }
         self._observers: List[Callable[[str], None]] = []
         self._track_time = track_time
+        # REPRO_SANITIZE=1 (checked once, at construction): mirror every
+        # mutation into an unsharded shadow and cross-check each touched
+        # shard against it — identical keys, identical values, total
+        # within float-drift tolerance of an order-independent fsum.
+        self._shadow: Optional[LedgerShadow] = (
+            LedgerShadow() if sanitize_enabled() else None
+        )
 
     # ------------------------------------------------------------------
     # Node access
@@ -264,6 +272,9 @@ class SyntheticUtilizationLedger:
         """Accrue a contribution.  Re-adding an existing key is an error."""
         shard = self._shard(node)
         self._add_to_shard(shard, node, key, value)
+        if self._shadow is not None:
+            self._shadow.add(node, key, value)
+            self._shadow.verify_shard(node, shard.contribs, shard.total)
         if shard.stat is not None:
             shard.stat.update(now, shard.total)
         for observer in self._observers:
@@ -292,6 +303,9 @@ class SyntheticUtilizationLedger:
         shard = self._shard(node)
         if not self._remove_from_shard(shard, node, key):
             return False
+        if self._shadow is not None:
+            self._shadow.remove(node, key)
+            self._shadow.verify_shard(node, shard.contribs, shard.total)
         if shard.stat is not None:
             shard.stat.update(now, shard.total)
         for observer in self._observers:
@@ -344,6 +358,8 @@ class SyntheticUtilizationLedger:
                     shard = self._shard(node)
                     touched[node] = shard
                 self._add_to_shard(shard, node, key, value)
+                if self._shadow is not None:
+                    self._shadow.add(node, key, value)
         finally:
             self._notify_touched(touched, now)
 
@@ -367,6 +383,8 @@ class SyntheticUtilizationLedger:
                     shard = self._shard(node)
                 if self._remove_from_shard(shard, node, key):
                     removed += 1
+                    if self._shadow is not None:
+                        self._shadow.remove(node, key)
                     if not known:
                         touched[node] = shard
         finally:
@@ -377,6 +395,8 @@ class SyntheticUtilizationLedger:
         self, touched: Dict[str, _LedgerShard], now: float
     ) -> None:
         for node, shard in touched.items():
+            if self._shadow is not None:
+                self._shadow.verify_shard(node, shard.contribs, shard.total)
             if shard.stat is not None:
                 shard.stat.update(now, shard.total)
             for observer in self._observers:
@@ -515,6 +535,9 @@ class AubAnalyzer:
         #: drives compaction in :meth:`prune`.
         self._expiry_stale = 0
         self.tests_performed = 0
+        # REPRO_SANITIZE=1 (checked once, at construction): audit the
+        # caches against a fresh recompute at every admission entry point.
+        self._sanitize = sanitize_enabled()
         ledger.subscribe(self._on_ledger_change)
 
     # ------------------------------------------------------------------
@@ -583,6 +606,47 @@ class AubAnalyzer:
                 self._violating.add(key)
             else:
                 self._violating.discard(key)
+
+    def _sanitize_audit_caches(self) -> None:
+        """Cached ``f(U_j)`` terms and clean task totals vs a fresh
+        recompute, bit for bit (``REPRO_SANITIZE=1`` only).
+
+        The incremental engine's correctness rests on one invariant: a
+        cache entry either matches what a from-scratch evaluation of the
+        current ledger state would produce, or it is marked dirty.  This
+        audit recomputes every cached per-node term with :func:`aub_term`
+        and every clean cached per-task condition total in visit order —
+        the exact floats :meth:`_term` / :meth:`_refresh_dirty` would
+        produce — and fails on the first mismatch.
+        """
+        ledger = self.ledger
+        for node in sorted(self._node_terms):
+            cached = self._node_terms[node]
+            fresh = aub_term(ledger.utilization_or_zero(node))
+            if cached != fresh:
+                raise SanitizeViolation(
+                    f"sanitize: analyzer cached f(U) term for node "
+                    f"{node!r} is {cached!r} but the ledger state gives "
+                    f"{fresh!r} — a ledger mutation bypassed the change "
+                    "listener"
+                )
+        for key in sorted(self._task_totals):
+            if key in self._dirty:
+                continue
+            entry = self._visits.get(key)
+            if entry is None:
+                continue
+            fresh_total = 0.0
+            for node in entry[0]:
+                fresh_total += aub_term(ledger.utilization_or_zero(node))
+            cached_total = self._task_totals[key]
+            if cached_total != fresh_total:
+                raise SanitizeViolation(
+                    f"sanitize: analyzer cached condition total for "
+                    f"registration {key!r} is {cached_total!r} but a "
+                    f"visit-order recompute gives {fresh_total!r} — the "
+                    "entry should have been marked dirty"
+                )
 
     # ------------------------------------------------------------------
     # Current-task registry
@@ -703,6 +767,8 @@ class AubAnalyzer:
             being relocated; its new visit list is ``candidate_visits``).
         """
         self.tests_performed += 1
+        if self._sanitize:
+            self._sanitize_audit_caches()
         self.prune(now)
         ledger = self.ledger
         # Hypothetical post-admission utilization on each touched node.
@@ -786,6 +852,8 @@ class AubAnalyzer:
         no ledger mutation, so no cache invalidation and no re-refresh
         storm between candidates.
         """
+        if self._sanitize:
+            self._sanitize_audit_caches()
         self.prune(now)
         self._refresh_dirty()
         ledger = self.ledger
@@ -1002,6 +1070,8 @@ class AubAnalyzer:
         rescan.  Every candidate later offered to ``try_admit`` must stay
         inside the envelope, or the screen is unsound.
         """
+        if self._sanitize:
+            self._sanitize_audit_caches()
         return BatchAdmissionSession(self, now, demand)
 
 

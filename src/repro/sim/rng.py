@@ -12,7 +12,43 @@ from __future__ import annotations
 
 import hashlib
 import random
-from typing import Dict
+from typing import Any, Dict, Optional
+
+
+class _AuditedStream:
+    """Attribution proxy around one named stream (``REPRO_SANITIZE=1``).
+
+    Forwards every draw to the wrapped :class:`random.Random` and records
+    it — with the generator's post-draw state — in the registry's draw
+    ledger.  A draw taken on the raw generator instead of through this
+    proxy leaves the state ahead of the last recorded fingerprint, which
+    :meth:`RngRegistry.audit` reports as an unattributed draw.
+    """
+
+    __slots__ = ("_rng", "_name", "_ledger")
+
+    # State readers don't advance the generator; recording them would
+    # inflate the draw counts without attributing anything.
+    _NON_DRAWS = frozenset({"getstate"})
+
+    def __init__(self, rng: random.Random, name: str, ledger: Any) -> None:
+        object.__setattr__(self, "_rng", rng)
+        object.__setattr__(self, "_name", name)
+        object.__setattr__(self, "_ledger", ledger)
+        ledger.baseline(name, rng.getstate())
+
+    def __getattr__(self, attr: str) -> Any:
+        value = getattr(self._rng, attr)
+        if not callable(value) or attr in self._NON_DRAWS:
+            return value
+        rng, name, ledger = self._rng, self._name, self._ledger
+
+        def _attributed(*args: Any, **kwargs: Any) -> Any:
+            result = value(*args, **kwargs)
+            ledger.record(name, rng.getstate())
+            return result
+
+        return _attributed
 
 
 class RngRegistry:
@@ -20,6 +56,12 @@ class RngRegistry:
 
     Each stream is seeded with ``sha256(master_seed || name)`` so streams are
     decorrelated and stable across runs and across Python versions.
+
+    Under ``REPRO_SANITIZE=1`` (checked once, at construction) every
+    stream is handed out behind an :class:`_AuditedStream` proxy and
+    :meth:`audit` verifies that no generator advanced without an
+    attributed draw.  Draws are bit-identical either way — the proxy only
+    observes.
 
     >>> rngs = RngRegistry(7)
     >>> a = rngs.stream("arrivals")
@@ -31,6 +73,12 @@ class RngRegistry:
     def __init__(self, master_seed: int = 0) -> None:
         self.master_seed = int(master_seed)
         self._streams: Dict[str, random.Random] = {}
+        self._audited: Dict[str, _AuditedStream] = {}
+        from repro import sanitize
+
+        self.draw_ledger: Optional[sanitize.RngDrawLedger] = (
+            sanitize.RngDrawLedger() if sanitize.enabled() else None
+        )
 
     def stream(self, name: str) -> random.Random:
         """Return (creating if needed) the stream for ``name``."""
@@ -41,7 +89,30 @@ class RngRegistry:
             ).digest()
             rng = random.Random(int.from_bytes(digest[:8], "big"))
             self._streams[name] = rng
-        return rng
+        if self.draw_ledger is None:
+            return rng
+        audited = self._audited.get(name)
+        if audited is None:
+            audited = _AuditedStream(rng, name, self.draw_ledger)
+            self._audited[name] = audited
+        # The proxy quacks like random.Random for every caller we have;
+        # the declared return type keeps the sanitizer transparent.
+        return audited  # type: ignore[return-value]
+
+    def audit(self) -> None:
+        """Fail on unattributed draws (no-op unless sanitizing).
+
+        Called at run boundaries (``MiddlewareSystem.run``,
+        ``RuntimeEnv.audit_rngs``); raises
+        :class:`repro.sanitize.SanitizeViolation` if any stream's
+        generator state moved without a draw recorded through its proxy.
+        """
+        if self.draw_ledger is None:
+            return
+        self.draw_ledger.audit(
+            (name, rng.getstate())
+            for name, rng in sorted(self._streams.items())
+        )
 
     def spawn(self, name: str) -> "RngRegistry":
         """Derive a child registry (for nested generators)."""

@@ -1,0 +1,85 @@
+"""Property test: builder-produced Scenarios survive process boundaries.
+
+Scenarios are the unit of work handed to worker processes (suite runs
+pickle them into cells), so *every* value the fluent builder can produce
+must (a) pickle-round-trip to an equal value and (b) re-serialize to
+byte-identical pickle and JSON forms — otherwise which process built the
+scenario would become observable.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.api import Scenario
+
+COMBOS = ("T_T_T", "T_N_N", "J_J_J", "J_N_N", "default", "paper-best")
+POLICIES = ("aub", "deferrable_server")
+
+seeds = st.integers(min_value=0, max_value=2**31 - 1)
+durations = st.floats(
+    min_value=1.0, max_value=1000.0, allow_nan=False, allow_infinity=False
+)
+
+
+@st.composite
+def scenarios(draw) -> Scenario:
+    builder = Scenario.builder()
+    if draw(st.booleans()):
+        builder.random_workload(draw(seeds), index=draw(st.integers(0, 4)))
+    else:
+        builder.imbalanced_workload(draw(seeds), index=draw(st.integers(0, 4)))
+    engine = draw(st.sampled_from(("middleware", "distributed", "replay")))
+    if engine == "distributed":
+        builder.distributed()
+    elif engine == "replay":
+        builder.replay(draw(st.sampled_from(POLICIES)))
+    else:
+        builder.combo(draw(st.sampled_from(COMBOS)))
+        # Disturbances and tracing are middleware-engine-only features.
+        for i in range(draw(st.integers(0, 2))):
+            if draw(st.booleans()):
+                builder.burst(
+                    time=draw(st.floats(0.0, 100.0, allow_nan=False)),
+                    jobs=draw(st.integers(1, 50)),
+                    base_index=100_000 + 1_000 * i,
+                )
+            else:
+                builder.slowdown(
+                    time=draw(st.floats(0.0, 100.0, allow_nan=False)),
+                    factor=draw(st.floats(0.1, 4.0, allow_nan=False)),
+                )
+        if draw(st.booleans()):
+            builder.trace()
+    builder.duration(draw(durations))
+    builder.seed(draw(seeds))
+    if draw(st.booleans()):
+        builder.interarrival_factor(draw(st.floats(0.5, 16.0, allow_nan=False)))
+    if draw(st.booleans()):
+        builder.drain(draw(st.booleans()))
+    if draw(st.booleans()):
+        builder.label(draw(st.text(min_size=1, max_size=12)))
+    return builder.build()
+
+
+@given(scenarios())
+@settings(max_examples=80, deadline=None)
+def test_scenario_pickle_round_trips_to_equal_value(scenario):
+    blob = pickle.dumps(scenario, protocol=pickle.HIGHEST_PROTOCOL)
+    restored = pickle.loads(blob)
+    assert restored == scenario
+    # Re-serialization is bit-identical: the unpickled copy is
+    # structurally indistinguishable from the original.
+    assert pickle.dumps(restored, protocol=pickle.HIGHEST_PROTOCOL) == blob
+
+
+@given(scenarios())
+@settings(max_examples=80, deadline=None)
+def test_scenario_json_form_is_stable_across_pickling(scenario):
+    restored = pickle.loads(pickle.dumps(scenario))
+    assert restored.to_json_str() == scenario.to_json_str()
+    # And the JSON form itself round-trips to the same scenario.
+    assert Scenario.from_json_str(scenario.to_json_str()) == scenario

@@ -27,6 +27,17 @@ def test_repro_api_is_strictly_typed():
     assert proc.returncode == 0, proc.stdout + proc.stderr
 
 
+def test_repro_lint_is_strictly_typed():
+    pytest.importorskip("mypy")
+    proc = subprocess.run(
+        [sys.executable, "-m", "mypy", "--strict", "tools/repro_lint"],
+        cwd=REPO_ROOT,
+        capture_output=True,
+        text=True,
+    )
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+
+
 def test_py_typed_marker_ships_with_the_package():
     assert (REPO_ROOT / "src" / "repro" / "py.typed").exists()
     assert "py.typed" in (REPO_ROOT / "setup.py").read_text()

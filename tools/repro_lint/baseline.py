@@ -9,10 +9,12 @@ identical findings needs two baseline entries.
 
 Regenerate after intentional changes with::
 
-    python -m repro_lint src/ tests/ benchmarks/ --write-baseline
+    python -m repro_lint --write-baseline
 
 which preserves the justification of every entry that still matches and
 stamps ``TODO: justify`` on new ones (fill those in before committing).
+Entries that no longer match any finding are *stale*: they fail the
+normal run (exit 1) and are removed with ``--prune-baseline``.
 """
 
 from __future__ import annotations
@@ -76,7 +78,7 @@ class Baseline:
         of baseline entries that went unmatched (stale — the underlying
         code was fixed and the entry should be pruned).
         """
-        budget: Counter = Counter(self._key(e) for e in self.entries)
+        budget: Counter[Key] = Counter(self._key(e) for e in self.entries)
         fresh: List[Finding] = []
         for finding in findings:
             key = finding.baseline_key
@@ -84,13 +86,25 @@ class Baseline:
                 budget[key] -= 1
             else:
                 fresh.append(finding)
-        stale = []
+        stale: List[Dict[str, str]] = []
         for entry in self.entries:
             key = self._key(entry)
             if budget.get(key, 0) > 0:
                 budget[key] -= 1
                 stale.append(entry)
         return fresh, stale
+
+    def pruned(self, stale: Sequence[Dict[str, str]]) -> "Baseline":
+        """A copy with the given stale entries removed (multiset-wise)."""
+        budget: Counter[Key] = Counter(self._key(e) for e in stale)
+        kept: List[Dict[str, str]] = []
+        for entry in self.entries:
+            key = self._key(entry)
+            if budget.get(key, 0) > 0:
+                budget[key] -= 1
+            else:
+                kept.append(entry)
+        return Baseline(kept)
 
     @classmethod
     def from_findings(

@@ -14,13 +14,13 @@ import argparse
 import json
 import sys
 from pathlib import Path
-from typing import List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from repro_lint.baseline import Baseline
-from repro_lint.engine import LintEngine
+from repro_lint.engine import Finding, LintEngine
 from repro_lint.rules import all_rules
 
-DEFAULT_PATHS = ("src", "tests", "benchmarks")
+DEFAULT_PATHS = ("src", "tests", "benchmarks", "examples", "tools")
 DEFAULT_BASELINE = "tools/repro_lint/baseline.json"
 
 
@@ -60,6 +60,14 @@ def build_parser() -> argparse.ArgumentParser:
         help=(
             "rewrite the baseline to cover the current findings, keeping "
             "existing justifications (new entries get 'TODO: justify')"
+        ),
+    )
+    parser.add_argument(
+        "--prune-baseline",
+        action="store_true",
+        help=(
+            "drop baseline entries that no longer match any finding and "
+            "rewrite the baseline in place (does not add new entries)"
         ),
     )
     parser.add_argument(
@@ -116,11 +124,24 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return 0
 
     fresh, stale = baseline.split(findings)
+    if args.prune_baseline:
+        if stale:
+            baseline.pruned(stale).save(baseline_path)
+            print(
+                f"repro-lint: pruned {len(stale)} stale baseline "
+                f"entr{'y' if len(stale) == 1 else 'ies'} from {baseline_path}"
+            )
+        else:
+            print("repro-lint: baseline has no stale entries")
+        stale = []
     return _report(fresh, stale, len(findings), args.format)
 
 
 def _report(
-    fresh: List, stale: List, total: int, fmt: str
+    fresh: List[Finding],
+    stale: List[Dict[str, str]],
+    total: int,
+    fmt: str,
 ) -> int:
     if fmt == "json":
         payload = {
@@ -129,15 +150,15 @@ def _report(
             "stale_baseline_entries": stale,
         }
         print(json.dumps(payload, indent=2))
-        return 1 if fresh else 0
+        return 1 if fresh or stale else 0
 
     for finding in fresh:
         print(finding.format_text())
     if stale:
         print(
-            f"repro-lint: note: {len(stale)} stale baseline entr"
+            f"repro-lint: {len(stale)} stale baseline entr"
             f"{'y' if len(stale) == 1 else 'ies'} no longer match any "
-            "finding; regenerate with --write-baseline to prune:"
+            "finding; remove them with --prune-baseline:"
         )
         for entry in stale:
             print(f"  - {entry['rule']} {entry['path']}: {entry['message']}")
@@ -148,6 +169,8 @@ def _report(
             f"({suppressed} baselined); fix them or baseline with a "
             "justification (--write-baseline)"
         )
+        return 1
+    if stale:
         return 1
     print(f"repro-lint: clean ({suppressed} baselined finding(s))")
     return 0

@@ -13,6 +13,14 @@ patterns (relative to the repo root, ``fnmatch`` syntax, a trailing
 ``/`` prefix form also matches) so e.g. the wall-clock rule only fires
 inside the simulator/decision packages.  Project-wide rules (RL007)
 implement :meth:`Rule.check_project` instead of node visits.
+
+Flow-aware rules (RL010/RL013/RL016) implement :meth:`Rule.check_index`:
+the engine parses every file once, keeps the trees, and builds one
+:class:`~repro_lint.project.ProjectIndex` (cross-module symbol table +
+call graph) handed to each such rule after the per-file walks.
+``lint_source`` builds a single-file index, so the same rules work on
+fixtures and on whole-repo runs without separate code paths.  Inline
+suppressions apply to index findings exactly as to per-file ones.
 """
 
 from __future__ import annotations
@@ -21,9 +29,11 @@ import ast
 import fnmatch
 import io
 import tokenize
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from pathlib import Path
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple, Type
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple, Type
+
+from repro_lint.project import ProjectIndex
 
 
 @dataclass(frozen=True, order=True)
@@ -144,6 +154,20 @@ class Rule:
         """Called once per run with every scanned path (cross-file rules)."""
         return iter(())
 
+    def check_index(self, index: ProjectIndex) -> Iterator[Finding]:
+        """Called once per run with the whole-program index (flow rules).
+
+        Implementations must scope their own findings: emit one only when
+        ``self.applies_to`` accepts the site's path, since the index spans
+        every scanned file.
+        """
+        return iter(())
+
+    def uses_index(self) -> bool:
+        """Whether this rule overrides :meth:`check_index` (the engine
+        builds the project index only when at least one rule does)."""
+        return type(self).check_index is not Rule.check_index
+
     # Helper shared by several rules: a readable expression excerpt.
     @staticmethod
     def excerpt(node: ast.AST, limit: int = 60) -> str:
@@ -207,6 +231,10 @@ def _is_suppressed(finding: Finding, suppressed: Dict[int, Set[str]]) -> bool:
 class LintEngine:
     """Drives the per-file walks and the project-level checks."""
 
+    #: Paths never scanned by directory expansion: the lint fixtures are
+    #: deliberate rule violations and must not lint the repo dirty.
+    EXCLUDED_PREFIXES: Tuple[str, ...] = ("tools/repro_lint/tests/fixtures/",)
+
     def __init__(self, rules: Sequence[Rule], root: Path) -> None:
         self.rules = list(rules)
         self.root = root
@@ -214,6 +242,7 @@ class LintEngine:
         for rule in self.rules:
             for node_type in rule.node_types:
                 self._dispatch.setdefault(node_type, []).append(rule)
+        self._index_rules = [r for r in self.rules if r.uses_index()]
 
     # -- single file -----------------------------------------------------
     def lint_file(self, path: Path) -> List[Finding]:
@@ -226,8 +255,23 @@ class LintEngine:
 
         The virtual path drives rule scoping, which is how the unit-test
         fixtures exercise path-scoped rules from outside their scope.
+        Flow-aware rules run against a single-file project index, so
+        their fixtures work through this entry point too.
         """
         tree = ast.parse(source, filename=rel_path)
+        findings = self._lint_tree(source, tree, rel_path)
+        if self._index_rules:
+            index = ProjectIndex.from_trees([(rel_path, tree)])
+            findings.extend(self._index_findings(index))
+        suppressed = _suppressions(source)
+        findings = [f for f in findings if not _is_suppressed(f, suppressed)]
+        findings.sort()
+        return findings
+
+    def _lint_tree(
+        self, source: str, tree: ast.Module, rel_path: str
+    ) -> List[Finding]:
+        """Per-file walk only — no index pass, no suppression filter."""
         ctx = Context(rel_path, tree, source)
         active = [r for r in self.rules if r.node_types and r.applies_to(rel_path)]
         if not active:
@@ -240,9 +284,12 @@ class LintEngine:
             for node_type in rule.node_types:
                 dispatch.setdefault(node_type, []).append(rule)
         self._walk(tree, ctx, dispatch, findings)
-        suppressed = _suppressions(source)
-        findings = [f for f in findings if not _is_suppressed(f, suppressed)]
-        findings.sort()
+        return findings
+
+    def _index_findings(self, index: ProjectIndex) -> List[Finding]:
+        findings: List[Finding] = []
+        for rule in self._index_rules:
+            findings.extend(rule.check_index(index))
         return findings
 
     def _walk(
@@ -275,24 +322,46 @@ class LintEngine:
         findings: List[Finding] = []
         errors: List[str] = []
         rel_paths: List[str] = []
+        trees: List[Tuple[str, ast.Module]] = []
+        suppressions_by_path: Dict[str, Dict[int, Set[str]]] = {}
         for path in files:
             rel = _relative(path, self.root)
             rel_paths.append(rel)
             try:
-                findings.extend(self.lint_file(path))
+                source = path.read_text(encoding="utf-8")
+                tree = ast.parse(source, filename=rel)
             except SyntaxError as exc:
                 errors.append(f"{rel}: syntax error: {exc.msg} (line {exc.lineno})")
+                continue
             except (OSError, UnicodeDecodeError) as exc:
                 errors.append(f"{rel}: unreadable: {exc}")
+                continue
+            suppressed = _suppressions(source)
+            suppressions_by_path[rel] = suppressed
+            file_findings = self._lint_tree(source, tree, rel)
+            findings.extend(
+                f for f in file_findings if not _is_suppressed(f, suppressed)
+            )
+            trees.append((rel, tree))
+        late: List[Finding] = []
         for rule in self.rules:
-            findings.extend(rule.check_project(self.root, rel_paths))
+            late.extend(rule.check_project(self.root, rel_paths))
+        if self._index_rules and trees:
+            late.extend(self._index_findings(ProjectIndex.from_trees(trees)))
+        for finding in late:
+            suppressed = suppressions_by_path.get(finding.path, {})
+            if not _is_suppressed(finding, suppressed):
+                findings.append(finding)
         findings.sort()
         return findings, errors
 
     def _expand(self, paths: Sequence[Path]) -> Iterator[Path]:
         for path in paths:
             if path.is_dir():
-                yield from path.rglob("*.py")
+                for file in path.rglob("*.py"):
+                    rel = _relative(file, self.root)
+                    if not rel.startswith(self.EXCLUDED_PREFIXES):
+                        yield file
             elif path.suffix == ".py":
                 yield path
 

@@ -1,0 +1,409 @@
+"""Whole-program index for flow-aware rules.
+
+The per-file walk (``LintEngine._walk``) sees one module at a time; the
+cross-process rules (RL010/RL013/RL016) need to answer questions that
+span modules: *which function does this ``run_cells`` argument resolve
+to?*  *can that function reach an environment read?*  *who else draws
+from this named RNG stream?*  :class:`ProjectIndex` is the shared
+substrate: a symbol table of every module/class/function in the scanned
+tree, a best-effort call graph over **resolved** names, the set of
+functions dispatched through ``run_cells``, and every literal
+``.stream("name")`` site.
+
+Resolution is deliberately conservative — only references the AST pins
+down are followed:
+
+* bare ``Name`` calls resolve to same-module definitions or from-imports
+  (``from repro.core.middleware import MiddlewareSystem``);
+* ``module.attr`` calls resolve when ``module`` is an imported module in
+  the index;
+* instantiating a class resolves to its ``__init__``;
+* ``self.method(...)`` resolves within the enclosing class;
+* defining a nested function counts as an edge to it (it only exists to
+  be called or returned by its definer).
+
+Unresolvable calls (arbitrary attribute chains, dynamic dispatch) simply
+produce no edge, so index-based rules under-approximate reachability and
+never invent paths — a finding always corresponds to a chain of
+resolvable references that exists in the source.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Set, Tuple, Union
+
+FunctionNode = Union[ast.FunctionDef, ast.AsyncFunctionDef]
+
+#: Fully qualified function identity: (module dotted name, qualname).
+FunctionKey = Tuple[str, str]
+
+
+def module_name_for(rel_path: str) -> str:
+    """Dotted module name for a repo-relative path.
+
+    ``src/``-rooted files map to their import name (``src/repro/env.py``
+    -> ``repro.env``); everything else maps positionally
+    (``tests/test_api.py`` -> ``tests.test_api``), which keeps module
+    names unique per file without claiming they are importable.
+    """
+    path = rel_path
+    if path.startswith("src/"):
+        path = path[len("src/"):]
+    if path.endswith(".py"):
+        path = path[: -len(".py")]
+    if path.endswith("/__init__"):
+        path = path[: -len("/__init__")]
+    return path.replace("/", ".")
+
+
+@dataclass
+class FunctionInfo:
+    """One function or method definition in the scanned tree."""
+
+    module: str
+    qualname: str  # "fn", "Class.method", "outer.<locals>.inner"
+    path: str
+    node: FunctionNode
+    nested: bool  # defined inside another function
+    #: Direct ``os.environ``/``os.getenv``-style reads in the body:
+    #: (line, description).  Populated regardless of module so RL013 can
+    #: treat any function containing one as an environment-read sink.
+    env_reads: List[Tuple[int, str]] = field(default_factory=list)
+    #: Resolved call targets (edges of the call graph).
+    calls: Set[FunctionKey] = field(default_factory=set)
+
+    @property
+    def key(self) -> FunctionKey:
+        return (self.module, self.qualname)
+
+
+@dataclass
+class ModuleInfo:
+    """Symbol table for one scanned file."""
+
+    module: str
+    path: str
+    tree: ast.Module
+    #: alias bound by ``import x.y as z`` -> real dotted module name
+    module_imports: Dict[str, str] = field(default_factory=dict)
+    #: name bound by ``from x import y as z`` -> "x.y"
+    from_imports: Dict[str, str] = field(default_factory=dict)
+    #: qualname -> function info (methods keyed "Class.method")
+    functions: Dict[str, FunctionInfo] = field(default_factory=dict)
+    #: top-level class name -> node
+    classes: Dict[str, ast.ClassDef] = field(default_factory=dict)
+
+
+@dataclass(frozen=True, eq=False)
+class DispatchSite:
+    """One ``run_cells(fn, ...)`` call site."""
+
+    module: str
+    path: str
+    line: int
+    #: Resolved payload function, when the first argument pins one down.
+    target: Optional[FunctionKey]
+    #: Source text of the first argument (for messages).
+    fn_text: str
+    #: The call expression itself (payload flow analysis).
+    call: ast.Call
+    #: Function the call appears in, None for module-level dispatches.
+    enclosing: Optional[FunctionNode]
+
+
+@dataclass(frozen=True)
+class StreamSite:
+    """One ``<obj>.stream("literal")`` call site."""
+
+    module: str
+    path: str
+    line: int
+    col: int
+    stream: str
+    #: The component drawing from the stream: enclosing top-level class
+    #: or function name, or "<module>" for module-level code.
+    component: str
+
+
+_ENV_READ_ATTRS = {"environ", "environb", "getenv", "putenv", "unsetenv"}
+
+
+class ProjectIndex:
+    """Cross-module symbol table + call graph over the scanned files."""
+
+    def __init__(self, modules: Iterable[ModuleInfo]) -> None:
+        self.modules: Dict[str, ModuleInfo] = {m.module: m for m in modules}
+        self.functions: Dict[FunctionKey, FunctionInfo] = {}
+        for mod in self.modules.values():
+            for info in mod.functions.values():
+                self.functions[info.key] = info
+        self.dispatch_sites: List[DispatchSite] = []
+        self.stream_sites: List[StreamSite] = []
+        for mod in sorted(self.modules.values(), key=lambda m: m.path):
+            _IndexBuilder(mod, self).build()
+
+    # -- construction ---------------------------------------------------
+    @classmethod
+    def from_trees(
+        cls, trees: Iterable[Tuple[str, ast.Module]]
+    ) -> "ProjectIndex":
+        """Build from already-parsed (repo-relative path, tree) pairs."""
+        return cls(_collect_module(path, tree) for path, tree in trees)
+
+    @classmethod
+    def from_sources(cls, sources: Mapping[str, str]) -> "ProjectIndex":
+        """Build from {repo-relative path: source text} (test helper)."""
+        return cls.from_trees(
+            (path, ast.parse(text, filename=path))
+            for path, text in sources.items()
+        )
+
+    # -- queries --------------------------------------------------------
+    def function(self, key: FunctionKey) -> Optional[FunctionInfo]:
+        return self.functions.get(key)
+
+    def resolve_call(
+        self, mod: ModuleInfo, name: str
+    ) -> Optional[FunctionKey]:
+        """Resolve a bare called name in ``mod`` to a function key."""
+        if name in mod.functions:
+            return (mod.module, name)
+        if name in mod.classes:
+            return self._class_init(mod.module, name)
+        dotted = mod.from_imports.get(name)
+        if dotted is not None:
+            target_mod, _, attr = dotted.rpartition(".")
+            return self._module_attr(target_mod, attr)
+        return None
+
+    def _module_attr(self, module: str, attr: str) -> Optional[FunctionKey]:
+        target = self.modules.get(module)
+        if target is None:
+            return None
+        if attr in target.functions:
+            return (module, attr)
+        if attr in target.classes:
+            return self._class_init(module, attr)
+        return None
+
+    def _class_init(self, module: str, cls_name: str) -> Optional[FunctionKey]:
+        target = self.modules.get(module)
+        if target is None:
+            return None
+        init = f"{cls_name}.__init__"
+        if init in target.functions:
+            return (module, init)
+        # A class without __init__ still exists; no constructor edge.
+        return None
+
+    def reachable(self, seeds: Iterable[FunctionKey]) -> Set[FunctionKey]:
+        """Functions reachable from ``seeds`` over resolved call edges."""
+        seen: Set[FunctionKey] = set()
+        frontier = [key for key in seeds if key in self.functions]
+        while frontier:
+            key = frontier.pop()
+            if key in seen:
+                continue
+            seen.add(key)
+            info = self.functions.get(key)
+            if info is None:
+                continue
+            frontier.extend(
+                target for target in info.calls if target not in seen
+            )
+        return seen
+
+
+def _collect_module(rel_path: str, tree: ast.Module) -> ModuleInfo:
+    mod = ModuleInfo(module=module_name_for(rel_path), path=rel_path, tree=tree)
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                mod.module_imports[alias.asname or alias.name] = alias.name
+        elif isinstance(node, ast.ImportFrom) and node.module:
+            for alias in node.names:
+                mod.from_imports[alias.asname or alias.name] = (
+                    f"{node.module}.{alias.name}"
+                )
+    _collect_functions(mod, tree.body, prefix="", nested=False)
+    return mod
+
+
+def _collect_functions(
+    mod: ModuleInfo,
+    body: Iterable[ast.stmt],
+    prefix: str,
+    nested: bool,
+) -> None:
+    for stmt in body:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            qualname = f"{prefix}{stmt.name}"
+            mod.functions[qualname] = FunctionInfo(
+                module=mod.module,
+                qualname=qualname,
+                path=mod.path,
+                node=stmt,
+                nested=nested,
+            )
+            _collect_functions(
+                mod, stmt.body, prefix=f"{qualname}.<locals>.", nested=True
+            )
+        elif isinstance(stmt, ast.ClassDef):
+            if not prefix:
+                mod.classes[stmt.name] = stmt
+            _collect_functions(
+                mod, stmt.body, prefix=f"{prefix}{stmt.name}.", nested=nested
+            )
+
+
+class _IndexBuilder(ast.NodeVisitor):
+    """Second pass: call edges, env reads, dispatch and stream sites."""
+
+    def __init__(self, mod: ModuleInfo, index: ProjectIndex) -> None:
+        self.mod = mod
+        self.index = index
+        #: innermost enclosing FunctionInfo, or None at module level
+        self._function_stack: List[FunctionInfo] = []
+        self._class_stack: List[str] = []
+
+    def build(self) -> None:
+        self.visit(self.mod.tree)
+
+    # -- scope tracking -------------------------------------------------
+    def _qualname(self, name: str) -> str:
+        if self._function_stack:
+            return f"{self._function_stack[-1].qualname}.<locals>.{name}"
+        if self._class_stack:
+            return f"{'.'.join(self._class_stack)}.{name}"
+        return name
+
+    def _enter_function(self, node: FunctionNode) -> Optional[FunctionInfo]:
+        info = self.mod.functions.get(self._qualname(node.name))
+        if info is not None and self._function_stack:
+            # Defining a nested function is the only way to reach it.
+            self._function_stack[-1].calls.add(info.key)
+        return info
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._walk_function(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._walk_function(node)
+
+    def _walk_function(self, node: FunctionNode) -> None:
+        info = self._enter_function(node)
+        if info is None:  # pragma: no cover - collection covers all defs
+            self.generic_visit(node)
+            return
+        self._function_stack.append(info)
+        saved_classes, self._class_stack = self._class_stack, []
+        self.generic_visit(node)
+        self._class_stack = saved_classes
+        self._function_stack.pop()
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        self._class_stack.append(node.name)
+        self.generic_visit(node)
+        self._class_stack.pop()
+
+    # -- facts ----------------------------------------------------------
+    def _current(self) -> Optional[FunctionInfo]:
+        return self._function_stack[-1] if self._function_stack else None
+
+    def _component(self) -> str:
+        """Top-level scope name for stream attribution: the outermost
+        class or function owning the call, ``<module>`` otherwise."""
+        if self._function_stack:
+            return self._function_stack[0].qualname.split(".")[0]
+        if self._class_stack:
+            return self._class_stack[0]
+        return "<module>"
+
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        current = self._current()
+        if (
+            current is not None
+            and node.attr in _ENV_READ_ATTRS
+            and isinstance(node.value, ast.Name)
+            and self.mod.module_imports.get(node.value.id) == "os"
+        ):
+            current.env_reads.append(
+                (node.lineno, f"os.{node.attr}")
+            )
+        self.generic_visit(node)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        current = self._current()
+        target: Optional[FunctionKey] = None
+        called_name: Optional[str] = None
+        if isinstance(node.func, ast.Name):
+            called_name = node.func.id
+            target = self.index.resolve_call(self.mod, node.func.id)
+            # ``from os import getenv``-style env reads.
+            dotted = self.mod.from_imports.get(node.func.id, "")
+            if current is not None and dotted.startswith("os."):
+                if dotted[len("os."):] in _ENV_READ_ATTRS:
+                    current.env_reads.append((node.lineno, dotted))
+        elif isinstance(node.func, ast.Attribute):
+            called_name = node.func.attr
+            base = node.func.value
+            if isinstance(base, ast.Name):
+                imported = self.mod.module_imports.get(base.id)
+                if imported is None:
+                    dotted = self.mod.from_imports.get(base.id)
+                    if dotted is not None:
+                        imported = dotted  # ``from repro import sanitize``
+                if imported is not None:
+                    target = self.index._module_attr(imported, node.func.attr)
+                elif base.id == "self" and self._class_stack:
+                    qual = f"{'.'.join(self._class_stack)}.{node.func.attr}"
+                    if qual in self.mod.functions:
+                        target = (self.mod.module, qual)
+            # Stream sites: <obj>.stream("literal")
+            if (
+                node.func.attr == "stream"
+                and node.args
+                and isinstance(node.args[0], ast.Constant)
+                and isinstance(node.args[0].value, str)
+            ):
+                self.index.stream_sites.append(
+                    StreamSite(
+                        module=self.mod.module,
+                        path=self.mod.path,
+                        line=node.lineno,
+                        col=node.col_offset,
+                        stream=node.args[0].value,
+                        component=self._component(),
+                    )
+                )
+        if current is not None and target is not None:
+            current.calls.add(target)
+        if called_name == "run_cells":
+            self._record_dispatch(node)
+        self.generic_visit(node)
+
+    def _record_dispatch(self, node: ast.Call) -> None:
+        if not node.args:
+            return
+        fn_arg = node.args[0]
+        target: Optional[FunctionKey] = None
+        if isinstance(fn_arg, ast.Name):
+            target = self.index.resolve_call(self.mod, fn_arg.id)
+        try:
+            fn_text = ast.unparse(fn_arg)
+        except Exception:  # pragma: no cover - unparse is total on 3.9+
+            fn_text = type(fn_arg).__name__
+        current = self._current()
+        self.index.dispatch_sites.append(
+            DispatchSite(
+                module=self.mod.module,
+                path=self.mod.path,
+                line=node.lineno,
+                target=target,
+                fn_text=fn_text,
+                call=node,
+                enclosing=current.node if current is not None else None,
+            )
+        )

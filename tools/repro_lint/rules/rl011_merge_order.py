@@ -1,0 +1,117 @@
+"""RL011: merge paths must not accumulate floats over unordered collections.
+
+``StatSnapshot``/``RunResult`` merges fold results produced by parallel
+workers.  Float addition is not associative, so the fold order IS part
+of the result: iterating ``dict.values()`` (order = whatever insertion
+order this process happened to produce) or a set (order = hash
+perturbation) while summing produces a value that can differ between
+two runs that merged the same snapshots.  Merge paths must iterate in
+an explicitly sorted key order so every merge of the same inputs
+produces the same bits.
+
+Scoped to merge code in ``repro.api``: functions whose name contains
+``merge`` and methods of the mergeable result types themselves.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from repro_lint.engine import Context, Finding, Rule
+from repro_lint.rules import register
+
+#: Classes whose methods are merge paths by definition.
+_MERGE_CLASSES = {"StatSnapshot", "RunResult"}
+
+
+@register
+class MergeOrderRule(Rule):
+    rule_id = "RL011"
+    summary = "no float accumulation over unordered collections in merges"
+    rationale = (
+        "float addition is order-dependent; merging worker results over "
+        "dict.values()/set iteration makes the merged bits depend on "
+        "insertion/hash order — iterate sorted keys instead"
+    )
+    node_types = (ast.Call, ast.For)
+    include = ("src/repro/api/",)
+
+    def visit(self, node: ast.AST, ctx: Context) -> Iterator[Finding]:
+        if not self._in_merge_path(ctx):
+            return
+        if isinstance(node, ast.Call):
+            yield from self._check_sum(node, ctx)
+        elif isinstance(node, ast.For):
+            yield from self._check_loop(node, ctx)
+
+    # ------------------------------------------------------------------
+    def _in_merge_path(self, ctx: Context) -> bool:
+        fn = ctx.enclosing_function()
+        if fn is not None and "merge" in fn.name.lower():
+            return True
+        cls = ctx.enclosing_class()
+        return cls is not None and cls.name in _MERGE_CLASSES
+
+    def _check_sum(self, node: ast.Call, ctx: Context) -> Iterator[Finding]:
+        if not (isinstance(node.func, ast.Name) and node.func.id == "sum"):
+            return
+        if not node.args:
+            return
+        unordered = self._unordered_source(node.args[0])
+        if unordered is not None:
+            yield self._finding(
+                node,
+                ctx,
+                f"sum() over unordered {unordered} in a merge path; the "
+                "merged float depends on iteration order — sum over "
+                "sorted(keys) instead",
+            )
+
+    def _check_loop(self, node: ast.For, ctx: Context) -> Iterator[Finding]:
+        unordered = self._unordered_source(node.iter)
+        if unordered is None:
+            return
+        for sub in ast.walk(node):
+            if isinstance(sub, ast.AugAssign) and isinstance(
+                sub.op, (ast.Add, ast.Sub)
+            ):
+                yield self._finding(
+                    node,
+                    ctx,
+                    f"accumulation over unordered {unordered} in a merge "
+                    "path; the merged float depends on iteration order — "
+                    "iterate sorted(keys) instead",
+                )
+                return
+
+    def _unordered_source(self, expr: ast.expr) -> Optional[str]:
+        """Name the unordered collection ``expr`` iterates, if any."""
+        probe = expr
+        if isinstance(probe, (ast.GeneratorExp, ast.ListComp)):
+            probe = probe.generators[0].iter
+        if (
+            isinstance(probe, ast.Call)
+            and isinstance(probe.func, ast.Attribute)
+            and probe.func.attr == "values"
+            and not probe.args
+        ):
+            return f"{self.excerpt(probe)}"
+        if isinstance(probe, (ast.Set, ast.SetComp)):
+            return f"set {self.excerpt(probe)}"
+        if (
+            isinstance(probe, ast.Call)
+            and isinstance(probe.func, ast.Name)
+            and probe.func.id in ("set", "frozenset")
+        ):
+            return f"{self.excerpt(probe)}"
+        return None
+
+    def _finding(self, node: ast.AST, ctx: Context, message: str) -> Finding:
+        return Finding(
+            path=ctx.path,
+            line=node.lineno,
+            col=node.col_offset,
+            rule_id=self.rule_id,
+            message=message,
+        )

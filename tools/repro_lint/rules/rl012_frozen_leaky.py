@@ -1,0 +1,110 @@
+"""RL012: frozen dataclasses must not expose mutable container fields.
+
+``frozen=True`` promises value semantics: the public result/scenario
+types are safe to share, hash (where eq permits), cache, and send across
+processes.  A ``list``/``dict``/``set`` field silently breaks the
+promise — the *binding* is frozen but the container is not, so a caller
+can mutate a result another caller already holds, and two structurally
+equal values can diverge after construction.  Frozen surfaces should
+carry ``Tuple``/``Mapping``-proxy conversions of their containers (or
+baseline the field with a justification when the dict is written once
+at construction and the proxy cannot cross a pickle boundary).
+
+Scoped to ``repro.api`` — the public frozen surface.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from repro_lint.engine import Context, Finding, Rule
+from repro_lint.rules import register
+
+_MUTABLE = {
+    "list": "list",
+    "List": "list",
+    "dict": "dict",
+    "Dict": "dict",
+    "set": "set",
+    "Set": "set",
+    "defaultdict": "dict",
+    "MutableMapping": "dict",
+    "MutableSequence": "list",
+    "MutableSet": "set",
+}
+
+
+@register
+class FrozenLeakyRule(Rule):
+    rule_id = "RL012"
+    summary = "no mutable container fields on frozen dataclasses"
+    rationale = (
+        "frozen=True promises value semantics; a list/dict/set field "
+        "leaks mutability through the frozen surface — convert to "
+        "Tuple/MappingProxyType or justify in the baseline"
+    )
+    node_types = (ast.ClassDef,)
+    include = ("src/repro/api/",)
+
+    def visit(self, node: ast.AST, ctx: Context) -> Iterator[Finding]:
+        assert isinstance(node, ast.ClassDef)
+        if not self._is_frozen_dataclass(node):
+            return
+        for stmt in node.body:
+            if not isinstance(stmt, ast.AnnAssign):
+                continue
+            if not isinstance(stmt.target, ast.Name):
+                continue
+            kind = self._mutable_kind(stmt.annotation)
+            if kind is not None:
+                yield Finding(
+                    path=ctx.path,
+                    line=stmt.lineno,
+                    col=stmt.col_offset,
+                    rule_id=self.rule_id,
+                    message=(
+                        f"frozen dataclass {node.name}.{stmt.target.id} "
+                        f"is annotated "
+                        f"{self.excerpt(stmt.annotation)}: a mutable "
+                        f"{kind} field leaks mutability through the "
+                        "frozen surface; use Tuple/MappingProxyType or "
+                        "justify in the baseline"
+                    ),
+                )
+
+    @staticmethod
+    def _is_frozen_dataclass(node: ast.ClassDef) -> bool:
+        for deco in node.decorator_list:
+            if not isinstance(deco, ast.Call):
+                continue
+            func = deco.func
+            name = None
+            if isinstance(func, ast.Name):
+                name = func.id
+            elif isinstance(func, ast.Attribute):
+                name = func.attr
+            if name != "dataclass":
+                continue
+            for kw in deco.keywords:
+                if (
+                    kw.arg == "frozen"
+                    and isinstance(kw.value, ast.Constant)
+                    and kw.value.value is True
+                ):
+                    return True
+        return False
+
+    @staticmethod
+    def _mutable_kind(annotation: ast.expr) -> Optional[str]:
+        probe = annotation
+        if isinstance(probe, ast.Subscript):
+            probe = probe.value
+        name = None
+        if isinstance(probe, ast.Name):
+            name = probe.id
+        elif isinstance(probe, ast.Attribute):
+            name = probe.attr
+        if name is None:
+            return None
+        return _MUTABLE.get(name)

@@ -1,0 +1,86 @@
+"""RL013: functions dispatched via ``run_cells`` must not read ambient state.
+
+A cell runs in a worker process.  With the fork start method workers
+inherit the parent's environment, so an ``os.environ`` (or ``repro.env``
+helper) read inside a cell *happens to* agree with the parent — until
+the executor becomes spawn-based or distributed, where the worker's
+environment is whatever the remote machine has.  Results silently
+depend on which machine ran the cell: the exact non-determinism the
+seed-complete Scenario contract exists to prevent.
+
+The rule walks the project call graph from every function the index can
+resolve as a ``run_cells`` payload and reports the ones that can reach
+an environment read — a direct ``os.environ``-family access, or a call
+into :mod:`repro.env` (the designated entry point is *parent-side*
+code; reading it from a worker is still an ambient read).  Reachability
+follows only statically resolved references (see
+:mod:`repro_lint.project`), so every finding corresponds to a concrete
+call chain in the source.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Set
+
+from repro_lint.engine import Finding, Rule
+from repro_lint.project import FunctionKey, ProjectIndex
+from repro_lint.rules import register
+
+#: At most this many distinct sinks are named per finding.
+_SINK_CAP = 3
+
+
+@register
+class WorkerEnvReadRule(Rule):
+    rule_id = "RL013"
+    summary = "no environment reads reachable from run_cells payloads"
+    rationale = (
+        "cells run in worker processes that may not share the parent's "
+        "environment; ambient reads make results machine-dependent — "
+        "resolve env knobs parent-side and pass plain values in the cell"
+    )
+
+    def check_index(self, index: ProjectIndex) -> Iterator[Finding]:
+        seeds: Set[FunctionKey] = {
+            site.target
+            for site in index.dispatch_sites
+            if site.target is not None
+        }
+        for seed in sorted(seeds):
+            info = index.function(seed)
+            if info is None or not self.applies_to(info.path):
+                continue
+            sinks = self._sinks(index, seed)
+            if not sinks:
+                continue
+            shown = sinks[:_SINK_CAP]
+            suffix = "" if len(sinks) <= _SINK_CAP else ", ..."
+            yield Finding(
+                path=info.path,
+                line=info.node.lineno,
+                col=info.node.col_offset,
+                rule_id=self.rule_id,
+                message=(
+                    f"{info.qualname!r} is dispatched via run_cells but "
+                    f"can reach environment read(s) "
+                    f"{', '.join(shown)}{suffix}; workers may not share "
+                    "the parent's environment — resolve the value "
+                    "parent-side and pass it through the cell"
+                ),
+            )
+
+    @staticmethod
+    def _sinks(index: ProjectIndex, seed: FunctionKey) -> List[str]:
+        """Sorted descriptors of the env reads reachable from ``seed``."""
+        sinks: Set[str] = set()
+        for key in index.reachable([seed]):
+            info = index.function(key)
+            if info is None:
+                continue
+            if info.module == "repro.env":
+                sinks.add(f"repro.env.{info.qualname}")
+                continue
+            for _line, what in info.env_reads:
+                sinks.add(f"{what} in {info.module}.{info.qualname}")
+        return sorted(sinks)

@@ -1,0 +1,123 @@
+"""RL014: async handlers must not block the event loop.
+
+The admission service front-end runs every handler on one event loop:
+a single ``time.sleep``, synchronous file/process/socket call, or
+await-less ``while True`` inside an ``async def`` stalls *every*
+in-flight admission decision, not just its own.  Blocking work belongs
+in a thread executor (``loop.run_in_executor``) or behind the async
+counterpart (``asyncio.sleep``, ``asyncio.subprocess``); loops must
+await something on every iteration or terminate.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Optional
+
+from repro_lint.engine import Context, Finding, Rule
+from repro_lint.rules import register
+
+#: module -> attributes whose call blocks the loop.
+_BLOCKING_ATTRS = {
+    "time": {"sleep"},
+    "os": {"system", "wait", "waitpid"},
+    "subprocess": {"run", "call", "check_call", "check_output", "Popen"},
+    "socket": {"create_connection", "socket", "getaddrinfo"},
+    "requests": {"get", "post", "put", "delete", "head", "request"},
+    "urllib.request": {"urlopen"},
+}
+
+
+@register
+class AsyncReadinessRule(Rule):
+    rule_id = "RL014"
+    summary = "no blocking calls or await-less loops in async functions"
+    rationale = (
+        "one blocking call inside an async handler stalls every "
+        "in-flight request on the event loop; use the async counterpart "
+        "or a thread executor"
+    )
+    node_types = (ast.AsyncFunctionDef,)
+
+    def visit(self, node: ast.AST, ctx: Context) -> Iterator[Finding]:
+        assert isinstance(node, ast.AsyncFunctionDef)
+        for sub in self._own_nodes(node):
+            if isinstance(sub, ast.Call):
+                what = self._blocking_call(sub, ctx)
+                if what is not None:
+                    yield self._finding(
+                        sub,
+                        ctx,
+                        f"blocking call {what} inside async def "
+                        f"{node.name!r} stalls the event loop; use the "
+                        "async counterpart or run_in_executor",
+                    )
+            elif isinstance(sub, ast.While):
+                if self._is_unbounded(sub):
+                    yield self._finding(
+                        sub,
+                        ctx,
+                        f"unbounded loop inside async def {node.name!r} "
+                        "never yields to the event loop; await inside "
+                        "the loop or bound it",
+                    )
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _own_nodes(root: ast.AsyncFunctionDef) -> Iterator[ast.AST]:
+        """Walk ``root`` without descending into nested function defs
+        (each async def is dispatched to :meth:`visit` on its own)."""
+        pending: List[ast.AST] = list(ast.iter_child_nodes(root))
+        while pending:
+            node = pending.pop()
+            if isinstance(
+                node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+            ):
+                continue
+            yield node
+            pending.extend(ast.iter_child_nodes(node))
+
+    def _blocking_call(
+        self, node: ast.Call, ctx: Context
+    ) -> Optional[str]:
+        func = node.func
+        if isinstance(func, ast.Name):
+            if func.id == "open" and "open" not in ctx.from_imports:
+                return "open()"
+            if func.id == "input":
+                return "input()"
+            dotted = ctx.from_imports.get(func.id)
+            if dotted is not None:
+                owner, _, attr = dotted.rpartition(".")
+                if attr in _BLOCKING_ATTRS.get(owner, ()):
+                    return f"{dotted}()"
+        elif isinstance(func, ast.Attribute) and isinstance(
+            func.value, ast.Name
+        ):
+            base = func.value.id
+            if base in ctx.module_imports and func.attr in _BLOCKING_ATTRS.get(
+                base, ()
+            ):
+                return f"{base}.{func.attr}()"
+        return None
+
+    @staticmethod
+    def _is_unbounded(node: ast.While) -> bool:
+        """``while True`` with neither an await nor a break in the body."""
+        if not (
+            isinstance(node.test, ast.Constant) and node.test.value is True
+        ):
+            return False
+        for sub in ast.walk(node):
+            if isinstance(sub, (ast.Await, ast.Break, ast.Return, ast.Raise)):
+                return False
+        return True
+
+    def _finding(self, node: ast.AST, ctx: Context, message: str) -> Finding:
+        return Finding(
+            path=ctx.path,
+            line=node.lineno,
+            col=node.col_offset,
+            rule_id=self.rule_id,
+            message=message,
+        )

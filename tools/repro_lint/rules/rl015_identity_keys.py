@@ -1,0 +1,124 @@
+"""RL015: ``id()``/``hash()`` must not order or key simulation objects.
+
+``id(obj)`` is a memory address: it differs between two runs of the
+same scenario, between processes, and between allocator states.
+``hash(obj)`` on a class without ``__hash__`` *is* ``id``-derived.
+Sorting by either, or keying a dict/defaultdict with either, produces
+an ordering (and hence a float-fold order, a tie-break, an iteration
+order) that cannot reproduce across runs — precisely the
+non-determinism the engine's tuple-keyed heaps and sorted iterations
+exist to avoid.  Key on the domain identity (task id, node name,
+(task, job, stage) tuples) instead.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from repro_lint.engine import Context, Finding, Rule
+from repro_lint.rules import register
+
+_IDENTITY_FNS = {"id", "hash"}
+
+
+@register
+class IdentityKeyRule(Rule):
+    rule_id = "RL015"
+    summary = "no id()/hash() as sort keys or mapping keys"
+    rationale = (
+        "id() is a per-process memory address and default hash() is "
+        "id-derived; ordering or keying on them cannot reproduce "
+        "across runs — key on domain identity instead"
+    )
+    node_types = (ast.Call, ast.Subscript, ast.Dict, ast.DictComp)
+    include = ("src/",)
+
+    def visit(self, node: ast.AST, ctx: Context) -> Iterator[Finding]:
+        if isinstance(node, ast.Call):
+            yield from self._check_sort(node, ctx)
+        elif isinstance(node, ast.DictComp):
+            what = self._identity_call(node.key)
+            if what is not None:
+                yield self._finding(
+                    node.key,
+                    ctx,
+                    f"{what} used as a dict key; per-process identities "
+                    "cannot reproduce across runs — key on domain "
+                    "identity instead",
+                )
+        elif isinstance(node, ast.Subscript):
+            what = self._identity_call(node.slice)
+            if what is not None:
+                yield self._finding(
+                    node,
+                    ctx,
+                    f"{what} used as a mapping key in "
+                    f"{self.excerpt(node)}; per-process identities "
+                    "cannot reproduce across runs — key on domain "
+                    "identity instead",
+                )
+        elif isinstance(node, ast.Dict):
+            for key in node.keys:
+                if key is None:
+                    continue
+                what = self._identity_call(key)
+                if what is not None:
+                    yield self._finding(
+                        key,
+                        ctx,
+                        f"{what} used as a dict key; per-process "
+                        "identities cannot reproduce across runs — key "
+                        "on domain identity instead",
+                    )
+
+    # ------------------------------------------------------------------
+    def _check_sort(self, node: ast.Call, ctx: Context) -> Iterator[Finding]:
+        func = node.func
+        is_sort = (
+            isinstance(func, ast.Name) and func.id in ("sorted", "min", "max")
+        ) or (isinstance(func, ast.Attribute) and func.attr == "sort")
+        if not is_sort:
+            return
+        for kw in node.keywords:
+            if kw.arg != "key":
+                continue
+            what = self._identity_key(kw.value)
+            if what is not None:
+                yield self._finding(
+                    kw.value,
+                    ctx,
+                    f"{what} used as an ordering key in "
+                    f"{self.excerpt(node)}; per-process identities "
+                    "cannot reproduce across runs — sort by domain "
+                    "identity instead",
+                )
+
+    def _identity_key(self, expr: ast.expr) -> Optional[str]:
+        if isinstance(expr, ast.Name) and expr.id in _IDENTITY_FNS:
+            return f"{expr.id}()"
+        if isinstance(expr, ast.Lambda):
+            for sub in ast.walk(expr.body):
+                what = self._identity_call(sub)
+                if what is not None:
+                    return what
+        return None
+
+    @staticmethod
+    def _identity_call(expr: ast.AST) -> Optional[str]:
+        if (
+            isinstance(expr, ast.Call)
+            and isinstance(expr.func, ast.Name)
+            and expr.func.id in _IDENTITY_FNS
+        ):
+            return f"{expr.func.id}()"
+        return None
+
+    def _finding(self, node: ast.AST, ctx: Context, message: str) -> Finding:
+        return Finding(
+            path=ctx.path,
+            line=node.lineno,
+            col=node.col_offset,
+            rule_id=self.rule_id,
+            message=message,
+        )

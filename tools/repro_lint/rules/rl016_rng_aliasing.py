@@ -1,0 +1,64 @@
+"""RL016: one named RNG stream, one drawing component.
+
+``RngRegistry`` exists so distinct concerns draw from decorrelated
+streams: adding a draw in one component must not perturb another's
+sequence.  Two components calling ``rngs.stream("jitter")`` quietly
+re-couple themselves through the shared generator — the exact aliasing
+the named streams were introduced to remove, and invisible at either
+call site alone.  The rule groups every literal ``.stream("name")``
+call site in the project by stream name and flags the names drawn by
+more than one component (a component is the top-level class or function
+owning the call; different modules are always different components).
+
+Deliberate sharing — a registry scoped to one run, or a worker
+re-deriving the exact stream a serial loop used — is baselined with a
+justification rather than restructured.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Iterator, List
+
+from repro_lint.engine import Finding, Rule
+from repro_lint.project import ProjectIndex, StreamSite
+from repro_lint.rules import register
+
+
+@register
+class RngAliasingRule(Rule):
+    rule_id = "RL016"
+    summary = "no RNG stream name drawn by more than one component"
+    rationale = (
+        "two components sharing one stream re-couple their draw "
+        "sequences; derive a named substream (or a spawned registry) "
+        "per component"
+    )
+    include = ("src/",)
+
+    def check_index(self, index: ProjectIndex) -> Iterator[Finding]:
+        by_stream: Dict[str, List[StreamSite]] = defaultdict(list)
+        for site in index.stream_sites:
+            if self.applies_to(site.path):
+                by_stream[site.stream].append(site)
+        for stream, sites in sorted(by_stream.items()):
+            components = {(s.module, s.component) for s in sites}
+            if len(components) < 2:
+                continue
+            names = sorted(
+                f"{module}:{component}" for module, component in components
+            )
+            for site in sorted(sites, key=lambda s: (s.path, s.line, s.col)):
+                yield Finding(
+                    path=site.path,
+                    line=site.line,
+                    col=site.col,
+                    rule_id=self.rule_id,
+                    message=(
+                        f"RNG stream {stream!r} is drawn by "
+                        f"{len(components)} components "
+                        f"({', '.join(names)}); shared draws re-couple "
+                        "their sequences — derive a named substream per "
+                        "component"
+                    ),
+                )

@@ -1,0 +1,16 @@
+"""Fixture: picklable run_cells payloads (no RL010 findings)."""
+import threading
+
+from repro.experiments.runner import run_cells
+
+
+def work(a, b):
+    return a + b
+
+
+def dispatch(cells):
+    guard = threading.Lock()
+    with guard:
+        prepared = [tuple(cell) for cell in cells]
+    # cost_key is consumed parent-side; the lambda never crosses the pool.
+    return run_cells(work, prepared, cost_key=lambda cell: 2.0)

@@ -1,0 +1,25 @@
+"""Fixture: deliberate RL010 violations (flow-resolved unpicklables)."""
+import threading
+
+from repro.experiments.runner import run_cells
+
+GLOBAL_LOCK = threading.Lock()
+
+
+def work(a, b):
+    return a
+
+
+def dispatch(cells):
+    fn = lambda a: a + 1  # noqa: E731
+    lock = threading.Lock()
+    handle = open("data.txt")
+    run_cells(fn, cells)  # expect: RL010
+    run_cells(work, [(lock, 1)])  # expect: RL010
+    run_cells(work, [(handle, 2)])  # expect: RL010
+    run_cells(work, [(threading.Lock(), 3)])  # expect: RL010
+    return handle
+
+
+def dispatch_singleton(cells):
+    return run_cells(work, [(GLOBAL_LOCK, 1)])  # expect: RL010

@@ -1,0 +1,18 @@
+"""Fixture: order-independent merges (no RL011 findings)."""
+
+
+def merge_overheads(shards):
+    total = 0.0
+    for key in sorted(shards):
+        total += shards[key].total
+    return total
+
+
+class StatSnapshot:
+    def combine(self, parts):
+        return sum(p.total for p in parts)
+
+
+def fold_results(results):
+    # Not a merge path: results arrive in submission order.
+    return sum(r.duration for r in set(results))

@@ -1,0 +1,14 @@
+"""Fixture: deliberate RL011 violations (unordered merge accumulation)."""
+
+
+def merge_overheads(shards):
+    total = 0.0
+    for series in shards.values():  # expect: RL011
+        total += series
+    grand = sum(shards.values())  # expect: RL011
+    return total + grand
+
+
+class StatSnapshot:
+    def combine(self, parts):
+        return sum(p.total for p in set(parts))  # expect: RL011

@@ -1,0 +1,16 @@
+"""Fixture: immutable frozen surfaces (no RL012 findings)."""
+from dataclasses import dataclass
+from typing import Mapping, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class Result:
+    label: str
+    samples: Tuple[float, ...] = ()
+    by_node: Optional[Mapping[str, float]] = None
+
+
+@dataclass
+class MutableHolder:
+    # Not frozen: mutable fields are this type's explicit contract.
+    values: Optional[list] = None

@@ -1,0 +1,12 @@
+"""Fixture: deliberate RL012 violations (mutable fields on frozen types)."""
+from dataclasses import dataclass, field
+from typing import Dict, List, Set
+
+
+@dataclass(frozen=True)
+class Result:
+    label: str
+    samples: List[float] = field(default_factory=list)  # expect: RL012
+    by_node: Dict[str, float] = field(default_factory=dict)  # expect: RL012
+    seen: Set[str] = field(default_factory=set)  # expect: RL012
+    raw: dict = field(default_factory=dict)  # expect: RL012

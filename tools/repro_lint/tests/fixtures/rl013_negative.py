@@ -1,0 +1,13 @@
+"""Fixture: env knob resolved parent-side (no RL013 findings)."""
+import os
+
+from repro.experiments.runner import run_cells
+
+
+def cell(a, scale):
+    return a * scale
+
+
+def main(data):
+    scale = float(os.environ.get("SCALE", "1"))
+    return run_cells(cell, [(a, scale) for a in data])

@@ -1,0 +1,22 @@
+"""Fixture: deliberate RL013 violations (env reads reachable from cells)."""
+import os
+
+from repro.experiments.runner import run_cells
+
+
+def cell(a):  # expect: RL013
+    scale = float(os.environ.get("SCALE", "1"))
+    return a * scale
+
+
+def helper():
+    return os.getenv("MODE")
+
+
+def indirect_cell(a):  # expect: RL013
+    return (a, helper())
+
+
+def main(data):
+    run_cells(cell, data)
+    run_cells(indirect_cell, data)

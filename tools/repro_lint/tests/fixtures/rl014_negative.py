@@ -1,0 +1,20 @@
+"""Fixture: loop-friendly async handlers (no RL014 findings)."""
+import asyncio
+import time
+
+
+async def handle(request):
+    await asyncio.sleep(0.1)
+    return request
+
+
+async def poll(queue):
+    while True:
+        await asyncio.sleep(1.0)
+
+
+def sync_helper():
+    # Blocking is fine outside the event loop.
+    time.sleep(0.1)
+    with open("config.json") as fh:
+        return fh.read()

@@ -1,0 +1,14 @@
+"""Fixture: deliberate RL014 violations (blocking async handlers)."""
+import time
+
+
+async def handle(request):
+    time.sleep(0.1)  # expect: RL014
+    data = open("config.json").read()  # expect: RL014
+    return (request, data)
+
+
+async def poll(queue):
+    while True:  # expect: RL014
+        if queue:
+            queue.pop()

@@ -1,0 +1,13 @@
+"""Fixture: domain-identity keys (no RL015 findings)."""
+
+
+def order_tasks(tasks):
+    return sorted(tasks, key=lambda t: t.task_id)
+
+
+def index_jobs(jobs):
+    return {(j.task_id, j.job_index): j for j in jobs}
+
+
+def cache_line(table, key):
+    return table[key]

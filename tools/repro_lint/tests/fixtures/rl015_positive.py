@@ -1,0 +1,15 @@
+"""Fixture: deliberate RL015 violations (identity-keyed ordering/maps)."""
+
+
+def order_tasks(tasks):
+    ordered = sorted(tasks, key=id)  # expect: RL015
+    tasks.sort(key=lambda t: id(t))  # expect: RL015
+    return ordered
+
+
+def index_jobs(jobs):
+    table = {}
+    for job in jobs:
+        table[id(job)] = job  # expect: RL015
+    seed_map = {hash(j): j.name for j in jobs}  # expect: RL015
+    return table, seed_map

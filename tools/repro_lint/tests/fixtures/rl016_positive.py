@@ -1,0 +1,15 @@
+"""Fixture: deliberate RL016 violations (stream shared across components)."""
+
+
+class ArrivalGenerator:
+    def __init__(self, rngs):
+        self.rng = rngs.stream("jitter")  # expect: RL016
+
+
+class DelayModel:
+    def __init__(self, rngs):
+        self.rng = rngs.stream("jitter")  # expect: RL016
+
+
+def workload(rngs):
+    return rngs.stream("workload").random()

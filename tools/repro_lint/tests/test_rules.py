@@ -31,6 +31,13 @@ IN_SCOPE_PATH = {
     "RL006": "src/repro/experiments/fixture.py",
     "RL008": "src/repro/config/fixture.py",
     "RL009": "src/repro/sim/fixture.py",
+    "RL010": "src/repro/experiments/fixture.py",
+    "RL011": "src/repro/api/fixture.py",
+    "RL012": "src/repro/api/fixture.py",
+    "RL013": "src/repro/experiments/fixture.py",
+    "RL014": "src/repro/net/fixture.py",
+    "RL015": "src/repro/sched/fixture.py",
+    "RL016": "src/repro/sim/fixture.py",
 }
 
 #: rule id -> a path the rule's scope excludes (None: rule is unscoped).
@@ -43,6 +50,13 @@ OUT_OF_SCOPE_PATH = {
     "RL006": None,
     "RL008": None,
     "RL009": "src/repro/cli.py",
+    "RL010": None,
+    "RL011": "src/repro/sched/fixture.py",
+    "RL012": "src/repro/core/fixture.py",
+    "RL013": None,
+    "RL014": None,
+    "RL015": "tests/fixture.py",
+    "RL016": "tests/fixture.py",
 }
 
 RULE_IDS = sorted(IN_SCOPE_PATH)
@@ -145,3 +159,129 @@ def test_seeded_wallclock_in_aub_is_caught():
 def test_every_registered_rule_has_fixture_coverage():
     covered = set(RULE_IDS) | {"RL007"}
     assert covered == set(rule_classes())
+
+
+# ----------------------------------------------------------------------
+# Cross-module behavior of the flow-aware rules: the engine builds one
+# ProjectIndex over every scanned file, so references resolved through
+# from-imports participate in the analysis.
+# ----------------------------------------------------------------------
+def _lint_tree(tmp_path: Path, sources) -> list:
+    for rel, text in sources.items():
+        target = tmp_path / rel
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(text)
+    engine = LintEngine(all_rules(), root=tmp_path)
+    findings, errors = engine.lint_paths([tmp_path / "src"])
+    assert errors == []
+    return findings
+
+
+def test_rl010_cross_module_lambda_payload(tmp_path):
+    findings = _lint_tree(
+        tmp_path,
+        {
+            "src/repro/experiments/helpers.py": "cell = lambda a: a + 1\n",
+            "src/repro/experiments/main.py": (
+                "from repro.experiments.helpers import cell\n"
+                "from repro.experiments.runner import run_cells\n"
+                "def main(data):\n"
+                "    return run_cells(cell, data)\n"
+            ),
+        },
+    )
+    rl010 = [f for f in findings if f.rule_id == "RL010"]
+    assert len(rl010) == 1
+    assert rl010[0].path == "src/repro/experiments/main.py"
+    assert "repro.experiments.helpers" in rl010[0].message
+
+
+def test_rl013_cross_module_env_read_chain(tmp_path):
+    findings = _lint_tree(
+        tmp_path,
+        {
+            "src/repro/experiments/knobs.py": (
+                "import os\n"
+                "def scale_factor():\n"
+                "    return float(os.environ.get('SCALE', '1'))\n"
+            ),
+            "src/repro/experiments/main.py": (
+                "from repro.experiments.knobs import scale_factor\n"
+                "from repro.experiments.runner import run_cells\n"
+                "def cell(a):\n"
+                "    return a * scale_factor()\n"
+                "def main(data):\n"
+                "    return run_cells(cell, data)\n"
+            ),
+        },
+    )
+    rl013 = [f for f in findings if f.rule_id == "RL013"]
+    assert len(rl013) == 1
+    assert rl013[0].path == "src/repro/experiments/main.py"
+    assert "'cell'" in rl013[0].message
+    assert "scale_factor" in rl013[0].message
+
+
+def test_rl013_repro_env_helper_counts_as_env_read(tmp_path):
+    findings = _lint_tree(
+        tmp_path,
+        {
+            "src/repro/env.py": (
+                "import os\n"
+                "def workers_override():\n"
+                "    return os.environ.get('REPRO_WORKERS')\n"
+            ),
+            "src/repro/experiments/main.py": (
+                "from repro.env import workers_override\n"
+                "from repro.experiments.runner import run_cells\n"
+                "def cell(a):\n"
+                "    return (a, workers_override())\n"
+                "def main(data):\n"
+                "    return run_cells(cell, data)\n"
+            ),
+        },
+    )
+    rl013 = [f for f in findings if f.rule_id == "RL013"]
+    assert len(rl013) == 1
+    assert "repro.env.workers_override" in rl013[0].message
+
+
+def test_rl016_cross_module_stream_sharing(tmp_path):
+    findings = _lint_tree(
+        tmp_path,
+        {
+            "src/repro/workloads/arrivals.py": (
+                "def plan(rngs):\n"
+                "    return rngs.stream('jitter').random()\n"
+            ),
+            "src/repro/net/latency.py": (
+                "def delay(rngs):\n"
+                "    return rngs.stream('jitter').random()\n"
+            ),
+        },
+    )
+    rl016 = [f for f in findings if f.rule_id == "RL016"]
+    assert len(rl016) == 2
+    assert {f.path for f in rl016} == {
+        "src/repro/workloads/arrivals.py",
+        "src/repro/net/latency.py",
+    }
+
+
+def test_index_findings_honor_inline_suppressions(tmp_path):
+    findings = _lint_tree(
+        tmp_path,
+        {
+            "src/repro/workloads/arrivals.py": (
+                "def plan(rngs):\n"
+                "    # repro-lint: disable=RL016\n"
+                "    return rngs.stream('jitter').random()\n"
+            ),
+            "src/repro/net/latency.py": (
+                "def delay(rngs):\n"
+                "    return rngs.stream('jitter').random()\n"
+            ),
+        },
+    )
+    rl016 = [f for f in findings if f.rule_id == "RL016"]
+    assert [f.path for f in rl016] == ["src/repro/net/latency.py"]
