@@ -33,11 +33,16 @@ from repro.api.scenario import (
     ENGINE_MIDDLEWARE,
     ENGINE_REPLAY,
     Burst,
+    DelaySpike,
     Disturbance,
+    MessageLoss,
+    NodeCrash,
+    Partition,
     Scenario,
     ScenarioBuilder,
     Slowdown,
     WorkloadSource,
+    disturbance_from_json,
     cost_model_from_json,
     cost_model_to_json,
     delay_model_from_json,
@@ -63,7 +68,12 @@ __all__ = [
     "WorkloadSource",
     "Burst",
     "Slowdown",
+    "NodeCrash",
+    "Partition",
+    "DelaySpike",
+    "MessageLoss",
     "Disturbance",
+    "disturbance_from_json",
     "ExperimentSuite",
     "MappingCell",
     "combo_grid",

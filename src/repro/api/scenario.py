@@ -421,7 +421,163 @@ class Slowdown:
         }
 
 
-Disturbance = Union[Burst, Slowdown]
+@dataclass(frozen=True)
+class NodeCrash:
+    """Fail-silent crash of one node at ``time``.
+
+    While crashed the node neither sends nor receives network messages,
+    its distributed-AC shard rejects every arrival immediately, and its
+    ledger entries are quarantined (in-flight transactions it coordinates
+    abort; locks it holds for remote coordinators are released by their
+    expiry backstop).  ``recovery`` (``None`` = never) re-admits the node
+    with an empty ledger shard.
+    """
+
+    node: str
+    time: float
+    recovery: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if not self.node:
+            raise ConfigurationError("node crash needs a node name")
+        if self.time < 0:
+            raise ConfigurationError("node crash time must be >= 0")
+        if self.recovery is not None and self.recovery <= self.time:
+            raise ConfigurationError(
+                "node crash recovery must be after the crash time"
+            )
+
+    def to_json(self) -> Dict[str, Any]:
+        return {
+            "type": "node_crash",
+            "node": self.node,
+            "time": self.time,
+            "recovery": self.recovery,
+        }
+
+
+@dataclass(frozen=True)
+class Partition:
+    """A network partition separating two node groups until ``heal``.
+
+    Messages crossing the cut in either direction are dropped at send
+    time for ``time <= now < heal``.  Messages within a group — and to
+    or from nodes in neither group — are unaffected.  In-flight messages
+    sent before the partition started still deliver (the fault model
+    decides at send time, matching a LAN switch losing a segment).
+    """
+
+    time: float
+    heal: float
+    group_a: Tuple[str, ...] = ()
+    group_b: Tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.time < 0:
+            raise ConfigurationError("partition time must be >= 0")
+        if self.heal <= self.time:
+            raise ConfigurationError(
+                "partition heal must be after the partition time"
+            )
+        if not self.group_a or not self.group_b:
+            raise ConfigurationError(
+                "partition needs two non-empty node groups"
+            )
+        overlap = set(self.group_a) & set(self.group_b)
+        if overlap:
+            raise ConfigurationError(
+                "partition groups must be disjoint; both sides contain "
+                f"{sorted(overlap)}"
+            )
+
+    def to_json(self) -> Dict[str, Any]:
+        return {
+            "type": "partition",
+            "time": self.time,
+            "heal": self.heal,
+            "group_a": list(self.group_a),
+            "group_b": list(self.group_b),
+        }
+
+
+@dataclass(frozen=True)
+class DelaySpike:
+    """Multiply every sampled link delay by ``factor`` during a window.
+
+    Overlapping spikes compound (factors multiply).  The spike scales the
+    scenario's delay model's samples, so relative link jitter is
+    preserved — it models congestion, not a different network.
+    """
+
+    time: float
+    until: float
+    factor: float
+
+    def __post_init__(self) -> None:
+        if self.time < 0:
+            raise ConfigurationError("delay spike time must be >= 0")
+        if self.until <= self.time:
+            raise ConfigurationError(
+                "delay spike until must be after its start time"
+            )
+        if self.factor <= 0:
+            raise ConfigurationError("delay spike factor must be > 0")
+
+    def to_json(self) -> Dict[str, Any]:
+        return {
+            "type": "delay_spike",
+            "time": self.time,
+            "until": self.until,
+            "factor": self.factor,
+        }
+
+
+@dataclass(frozen=True)
+class MessageLoss:
+    """Drop each remote message independently with ``probability``.
+
+    Drops draw from a named :class:`~repro.sim.rng.RngRegistry` stream,
+    one per directed link (``"<stream>:<src>-><dst>"``), so loss on one
+    link never perturbs the draws — or the behavior — of another and
+    runs stay bit-identical for a fixed seed.  ``until`` ``None`` means
+    the window never closes.
+    """
+
+    probability: float
+    time: float = 0.0
+    until: Optional[float] = None
+    stream: str = "message_loss"
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.probability <= 1.0:
+            raise ConfigurationError(
+                "message loss probability must be in (0, 1], got "
+                f"{self.probability}"
+            )
+        if self.time < 0:
+            raise ConfigurationError("message loss time must be >= 0")
+        if self.until is not None and self.until <= self.time:
+            raise ConfigurationError(
+                "message loss until must be after its start time"
+            )
+        if not self.stream:
+            raise ConfigurationError("message loss needs an RNG stream name")
+
+    def to_json(self) -> Dict[str, Any]:
+        return {
+            "type": "message_loss",
+            "probability": self.probability,
+            "time": self.time,
+            "until": self.until,
+            "stream": self.stream,
+        }
+
+
+Disturbance = Union[Burst, Slowdown, NodeCrash, Partition, DelaySpike, MessageLoss]
+
+#: Disturbances that inject faults through the network layer (the
+#: chaos-engineering set, as opposed to the workload-shaping set).
+FAULT_DISTURBANCE_TYPES = (NodeCrash, Partition, DelaySpike, MessageLoss)
 
 
 def disturbance_from_json(data: Dict[str, Any]) -> Disturbance:
@@ -446,8 +602,45 @@ def disturbance_from_json(data: Dict[str, Any]) -> Disturbance:
             factor=data["factor"],
             nodes=tuple(data.get("nodes", ())),
         )
+    if tag == "node_crash":
+        _reject_unknown(data, ("type", "node", "time", "recovery"), "node crash")
+        return NodeCrash(
+            node=data["node"],
+            time=data["time"],
+            recovery=data.get("recovery"),
+        )
+    if tag == "partition":
+        _reject_unknown(
+            data, ("type", "time", "heal", "group_a", "group_b"), "partition"
+        )
+        return Partition(
+            time=data["time"],
+            heal=data["heal"],
+            group_a=tuple(data.get("group_a", ())),
+            group_b=tuple(data.get("group_b", ())),
+        )
+    if tag == "delay_spike":
+        _reject_unknown(data, ("type", "time", "until", "factor"), "delay spike")
+        return DelaySpike(
+            time=data["time"],
+            until=data["until"],
+            factor=data["factor"],
+        )
+    if tag == "message_loss":
+        _reject_unknown(
+            data,
+            ("type", "probability", "time", "until", "stream"),
+            "message loss",
+        )
+        return MessageLoss(
+            probability=data["probability"],
+            time=data.get("time", 0.0),
+            until=data.get("until"),
+            stream=data.get("stream", "message_loss"),
+        )
     raise ConfigurationError(
-        f"unknown disturbance type {tag!r}; expected 'burst' or 'slowdown'"
+        f"unknown disturbance type {tag!r}; expected one of 'burst', "
+        "'slowdown', 'node_crash', 'partition', 'delay_spike', 'message_loss'"
     )
 
 
@@ -559,16 +752,34 @@ class Scenario:
                     "the distributed-AC prototype supports only the J_N_N "
                     f"configuration, got {combo.label!r}"
                 )
-            if self.disturbances:
+            if any(isinstance(d, (Burst, Slowdown)) for d in self.disturbances):
                 raise ConfigurationError(
-                    "disturbances are not supported by the distributed engine"
+                    "burst/slowdown disturbances are not supported by the "
+                    "distributed engine"
                 )
             if self.trace:
                 raise ConfigurationError(
                     "tracing is not supported by the distributed engine"
                 )
+        if self.engine == ENGINE_MIDDLEWARE:
+            # The centralized accept/reject round trip has no timeout: a
+            # dropped decision would strand the job at its effector
+            # forever, so only the delay-shaping fault is meaningful here.
+            blocked = [
+                d for d in self.disturbances
+                if isinstance(d, (NodeCrash, Partition, MessageLoss))
+            ]
+            if blocked:
+                raise ConfigurationError(
+                    "node crash/partition/message loss disturbances require "
+                    "the distributed engine (the centralized middleware "
+                    "protocol has no timeout to recover from a lost message)"
+                )
         for disturbance in self.disturbances:
-            if not isinstance(disturbance, (Burst, Slowdown)):
+            if not isinstance(
+                disturbance,
+                (Burst, Slowdown) + FAULT_DISTURBANCE_TYPES,
+            ):
                 raise ConfigurationError(
                     f"unknown disturbance object {disturbance!r}"
                 )
@@ -826,6 +1037,45 @@ class ScenarioBuilder:
         self, time: float, factor: float, nodes: Tuple[str, ...] = ()
     ) -> "ScenarioBuilder":
         return self._disturb(Slowdown(time=time, factor=factor, nodes=tuple(nodes)))
+
+    def node_crash(
+        self, node: str, time: float, recovery: Optional[float] = None
+    ) -> "ScenarioBuilder":
+        return self._disturb(NodeCrash(node=node, time=time, recovery=recovery))
+
+    def partition(
+        self,
+        time: float,
+        heal: float,
+        group_a: Tuple[str, ...],
+        group_b: Tuple[str, ...],
+    ) -> "ScenarioBuilder":
+        return self._disturb(
+            Partition(
+                time=time,
+                heal=heal,
+                group_a=tuple(group_a),
+                group_b=tuple(group_b),
+            )
+        )
+
+    def delay_spike(
+        self, time: float, until: float, factor: float
+    ) -> "ScenarioBuilder":
+        return self._disturb(DelaySpike(time=time, until=until, factor=factor))
+
+    def message_loss(
+        self,
+        probability: float,
+        time: float = 0.0,
+        until: Optional[float] = None,
+        stream: str = "message_loss",
+    ) -> "ScenarioBuilder":
+        return self._disturb(
+            MessageLoss(
+                probability=probability, time=time, until=until, stream=stream
+            )
+        )
 
     def _disturb(self, disturbance: Disturbance) -> "ScenarioBuilder":
         existing = self._fields.get("disturbances", ())

@@ -29,6 +29,8 @@ from repro.api.scenario import (
     ENGINE_MIDDLEWARE,
     ENGINE_REPLAY,
     Burst,
+    NodeCrash,
+    Partition,
     Scenario,
     Slowdown,
 )
@@ -128,6 +130,13 @@ class RunResult:
     final_synthetic_utilization: Dict[str, float] = field(default_factory=dict)
     overhead: Dict[str, StatSnapshot] = field(default_factory=dict)
     comm_delay: StatSnapshot = StatSnapshot()
+    # Chaos layer (all zero on fault-free runs; serialized only when
+    # nonzero so fault-free JSON stays byte-identical to the seed).
+    messages_dropped: int = 0
+    messages_delay_spiked: int = 0
+    vote_timeouts: int = 0
+    retries_sent: int = 0
+    transactions_aborted: int = 0
 
     # -- derived views ----------------------------------------------------
     def overhead_rows(self) -> List[OverheadRow]:
@@ -182,6 +191,16 @@ class RunResult:
             "overhead": {k: v.to_json() for k, v in self.overhead.items()},
             "comm_delay": self.comm_delay.to_json(),
         }
+        for name in (
+            "messages_dropped",
+            "messages_delay_spiked",
+            "vote_timeouts",
+            "retries_sent",
+            "transactions_aborted",
+        ):
+            value = getattr(self, name)
+            if value:
+                data[name] = value
         return data
 
     def to_json_str(self, indent: int = 2) -> str:
@@ -232,6 +251,42 @@ class Session:
         # modules (middleware / distributed / DAnCE-lite), hence Any.
         self._system: Optional[Any] = None
         self._result: Optional[RunResult] = None
+        self._validate_disturbance_nodes()
+
+    def _validate_disturbance_nodes(self) -> None:
+        """Reject disturbances that name nodes the scenario never deploys.
+
+        Runs at construction so a typo'd node name fails fast instead of
+        silently injecting faults nobody feels (a crash of a nonexistent
+        node drops no message) or exploding mid-deploy.
+        """
+        referencing = [
+            d
+            for d in self.scenario.disturbances
+            if isinstance(d, (NodeCrash, Partition))
+            or (isinstance(d, Slowdown) and d.nodes)
+        ]
+        if not referencing:
+            return
+        workload = self.scenario.workload.materialize()
+        deployed = set(workload.app_nodes)
+        for disturbance in referencing:
+            if isinstance(disturbance, NodeCrash):
+                unknown = {disturbance.node} - deployed
+            elif isinstance(disturbance, Partition):
+                unknown = (
+                    set(disturbance.group_a) | set(disturbance.group_b)
+                ) - deployed
+            else:
+                unknown = set(disturbance.nodes) - deployed
+            if unknown:
+                kind = type(disturbance).__name__
+                raise ConfigurationError(
+                    f"{kind} disturbance references unknown node(s) "
+                    f"{', '.join(repr(n) for n in sorted(unknown))}; "
+                    f"deployed application nodes are "
+                    f"{', '.join(repr(n) for n in sorted(deployed))}"
+                )
 
     # -- deployment -------------------------------------------------------
     @property
@@ -263,6 +318,7 @@ class Session:
                 ),
                 arrival_batching=scenario.arrival_batching,
             )
+            self._install_faults(self._system)
             return self._system
         if self.via_dance:
             from repro.config.dance import DeploymentEngine
@@ -284,6 +340,7 @@ class Session:
                 arrival_batching=scenario.arrival_batching,
             )
         self._apply_disturbances(self._system)
+        self._install_faults(self._system)
         return self._system
 
     def _apply_disturbances(self, system: Any) -> None:
@@ -293,6 +350,32 @@ class Session:
                 self._schedule_burst(system, disturbance)
             elif isinstance(disturbance, Slowdown):
                 self._schedule_slowdown(system, disturbance)
+
+    def _install_faults(self, system: Any) -> None:
+        """Install the chaos layer: fault injector + crash/recovery events.
+
+        No-op on fault-free scenarios (``injector_from_disturbances``
+        returns ``None``), so ordinary runs never install an injector and
+        stay bit-identical to pre-chaos behavior.
+        """
+        from repro.net.fault import injector_from_disturbances
+
+        injector = injector_from_disturbances(
+            self.scenario.disturbances, system.rngs
+        )
+        if injector is None:
+            return
+        system.network.install_fault_injector(injector)
+        for disturbance in self.scenario.disturbances:
+            if not isinstance(disturbance, NodeCrash):
+                continue
+            system.sim.schedule_at(
+                disturbance.time, system.crash_node, disturbance.node
+            )
+            if disturbance.recovery is not None:
+                system.sim.schedule_at(
+                    disturbance.recovery, system.recover_node, disturbance.node
+                )
 
     def _check_resolved_burst_overlap(self, system: Any) -> None:
         # Scenario validation catches overlaps keyed by literal task_id,
@@ -387,6 +470,8 @@ class Session:
         system = self.deploy()
         results = system.run(scenario.duration, drain=scenario.drain)
         metrics = results.metrics
+        injector = getattr(system.network, "fault_injector", None)
+        fault_metrics = injector.metrics if injector is not None else None
         return RunResult(
             scenario_label=scenario.effective_label,
             combo_label=results.combo_label,
@@ -411,6 +496,12 @@ class Session:
                 for name in ALL_ROWS
             },
             comm_delay=StatSnapshot.from_series(system.network.delay_stats),
+            messages_dropped=(
+                fault_metrics.messages_dropped if fault_metrics else 0
+            ),
+            messages_delay_spiked=(
+                fault_metrics.messages_delay_spiked if fault_metrics else 0
+            ),
         )
 
     def _run_distributed(self) -> RunResult:
@@ -436,6 +527,11 @@ class Session:
             reserve_messages=results.reserve_messages,
             final_synthetic_utilization=dict(results.final_utilization),
             comm_delay=StatSnapshot.from_series(system.network.delay_stats),
+            messages_dropped=results.messages_dropped,
+            messages_delay_spiked=results.messages_delay_spiked,
+            vote_timeouts=results.vote_timeouts,
+            retries_sent=results.retries_sent,
+            transactions_aborted=results.transactions_aborted,
         )
 
     def _run_replay(self) -> RunResult:

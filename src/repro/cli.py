@@ -41,6 +41,7 @@ from repro.core.strategies import valid_combinations
 from repro.errors import ReproError
 from repro.experiments import (
     run_aub_vs_deferrable,
+    run_chaos_suite,
     run_disturbance_suite,
     run_figure5,
     run_figure6,
@@ -102,6 +103,14 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     pd.add_argument("--duration", type=float, default=60.0)
     pd.add_argument("--seed", type=int, default=2008)
+
+    pch = _experiment_parser(
+        "chaos", "availability under crash/partition/loss faults"
+    )
+    pch.add_argument("--duration", type=float, default=30.0)
+    pch.add_argument("--seed", type=int, default=2008)
+    pch.add_argument("--loss", type=float, default=0.2,
+                     help="message loss probability for the loss cell")
 
     # -- declarative scenario surface ----------------------------------
     pscen = sub.add_parser(
@@ -346,6 +355,26 @@ def main(argv: Optional[List[str]] = None) -> int:
             args.json,
             {
                 "experiment": "disturbance",
+                "results": [r.to_json() for r in results],
+            },
+        )
+    elif command == "chaos":
+        results = run_chaos_suite(
+            duration=args.duration, seed=args.seed,
+            loss_probability=args.loss, n_workers=args.workers,
+        )
+        for res in results:
+            print(
+                f"{res.scenario}: availability={res.availability:.4f} "
+                f"released={res.released_jobs}/{res.arrived_jobs} "
+                f"dropped={res.messages_dropped} "
+                f"timeouts={res.vote_timeouts} "
+                f"aborted={res.transactions_aborted}"
+            )
+        _write_json(
+            args.json,
+            {
+                "experiment": "chaos",
                 "results": [r.to_json() for r in results],
             },
         )

@@ -51,6 +51,7 @@ import math
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
+from repro import sanitize
 from repro.ccm.component import AttributeSpec, Component
 from repro.ccm.events import (
     AcceptEvent,
@@ -161,6 +162,10 @@ class _Transaction:
     participants: List[str]
     deltas: Dict[str, float]
     votes: Dict[str, Vote] = field(default_factory=dict)
+    #: Vote-timeout event handle (chaos runs only; None when disarmed).
+    timeout_handle: Optional[object] = None
+    #: Reserve rounds already retried after a vote timeout.
+    attempt: int = 0
 
 
 @dataclass
@@ -182,6 +187,10 @@ class _BatchTransaction:
     #: participant -> the burst indices sent to it, in burst order.
     sent: Dict[str, List[int]]
     votes: Dict[str, BatchVote] = field(default_factory=dict)
+    #: Vote-timeout event handle (chaos runs only; None when disarmed).
+    timeout_handle: Optional[object] = None
+    #: Reserve rounds already retried after a vote timeout.
+    attempt: int = 0
 
 
 class DistributedAdmissionControllerComponent(Component):
@@ -200,6 +209,23 @@ class DistributedAdmissionControllerComponent(Component):
             "against one local snapshot (per-item votes, per-reservation "
             "expiry/abort), so a burst costs one two-phase round instead "
             "of one per reservation.",
+        ),
+        "vote_timeout": AttributeSpec(
+            float,
+            default=0.25,
+            doc="Seconds a coordinator waits for the round's votes before "
+            "retrying the missing participants (exponential backoff) and "
+            "ultimately aborting.  Timeouts are armed only while the "
+            "network carries an armed fault injector — on fault-free "
+            "runs every vote arrives and the protocol is byte-for-byte "
+            "the original.  <= 0 disables timeouts even under faults.",
+        ),
+        "max_retries": AttributeSpec(
+            int,
+            default=2,
+            doc="Reserve retries per transaction after the first vote "
+            "timeout; the round aborts (releasing every granted "
+            "reservation) when they are exhausted.",
         ),
     }
 
@@ -236,6 +262,28 @@ class DistributedAdmissionControllerComponent(Component):
         self.coordination_rounds = 0
         self.batch_calls = 0
         self.batched_arrivals = 0
+        # -- fault tolerance (active only under an armed fault injector) --
+        #: Recorded granted votes per txn, resent verbatim on duplicate
+        #: reserves so a retry after a lost vote never double-locks.
+        self._granted_votes: Dict[int, object] = {}
+        #: Expiry-backstop event handles for phase-1 locks, keyed like
+        #: ``_locks``; cancelled when the round's outcome arrives.
+        self._lock_expiry: Dict[object, object] = {}
+        #: Fail-silent crash flag (see :meth:`crash`/:meth:`recover`).
+        self._crashed = False
+        self.vote_timeouts = 0
+        self.retries_sent = 0
+        self.aborted_transactions = 0
+        self.crash_count = 0
+        self.recovery_count = 0
+        # Re-read from attributes at activation.
+        self._vote_timeout = 0.25
+        self._max_retries = 2
+        #: Unsharded mirror of committed contributions, cross-checked by
+        #: :meth:`verify_ledger` (REPRO_SANITIZE=1 only).
+        self._shadow: Optional[sanitize.LedgerShadow] = (
+            sanitize.LedgerShadow() if sanitize.enabled() else None
+        )
 
     # ------------------------------------------------------------------
     # Local utilization view
@@ -287,11 +335,161 @@ class DistributedAdmissionControllerComponent(Component):
                 f"distributed AC {self.name!r}: processor_id mismatch"
             )
         self._thread = self.processor.new_thread(f"{self.name}.dispatch", 0.0)
+        self._vote_timeout = float(self.get_attribute("vote_timeout"))
+        self._max_retries = int(self.get_attribute("max_retries"))
+
+    # ------------------------------------------------------------------
+    # Fault tolerance
+    # ------------------------------------------------------------------
+    def _chaos_armed(self) -> bool:
+        """True when the network carries an armed fault injector.
+
+        Vote timeouts, retries and lock-expiry backstops arm only then:
+        on a fault-free network every vote and outcome arrives, so the
+        recovery machinery would only schedule events it always cancels.
+        The injector's window set is fixed before the run starts, so this
+        is constant for a whole run and both modes are deterministic.
+        """
+        if self._vote_timeout <= 0:
+            return False
+        injector = self.env.network.fault_injector
+        return injector is not None and injector.armed
+
+    @property
+    def crashed(self) -> bool:
+        return self._crashed
+
+    def crash(self) -> None:
+        """Fail-silent crash: resolve and quarantine all local AC state.
+
+        The network layer already suppresses this node's messages during
+        its crash window; this method handles the admission bookkeeping.
+        Every in-flight transaction this node coordinates aborts — the
+        arrival-node TE holding each job is local, so the reject is pure
+        local accounting, keeping arrival conservation intact.  Remote
+        participants' locks for those rounds are freed by their expiry
+        backstops.  The participant-side ledger shard (locks,
+        contributions, caps) is quarantined: cleared now, so a recovered
+        node re-admits from an empty shard.  Subtasks of already-released
+        jobs keep executing — the fault model crashes the coordination
+        layer, not the CPU (cf. docs/CHAOS.md).
+        """
+        if self._crashed:
+            return
+        self._crashed = True
+        self.crash_count += 1
+        for txn in sorted(self._transactions):
+            transaction = self._transactions[txn]
+            self._cancel_vote_timeout(transaction)
+            self.aborted_transactions += 1
+            self._reject(transaction.event, "coordinator crashed")
+        self._transactions.clear()
+        for txn in sorted(self._batch_transactions):
+            transaction = self._batch_transactions[txn]
+            self._cancel_vote_timeout(transaction)
+            self.aborted_transactions += 1
+            for item in transaction.items:
+                self._reject(item.event, "coordinator crashed")
+        self._batch_transactions.clear()
+        for event in self._arrival_queue:
+            self._reject(event, "node crashed")
+        self._arrival_queue = []
+        for key in list(self._lock_expiry):
+            self._cancel_lock_expiry(key)
+        self._locks.clear()
+        self._granted_votes.clear()
+        if self._shadow is not None:
+            for key in self._contribs:
+                self._shadow.remove(self.node, key)
+        self._contribs.clear()
+        self._caps.clear()
+        self._cap_heap.clear()
+        self._total = 0.0
+
+    def recover(self) -> None:
+        """Re-admit a crashed node with an empty ledger shard."""
+        if not self._crashed:
+            return
+        self._crashed = False
+        self.recovery_count += 1
+
+    def verify_ledger(self) -> None:
+        """Cross-check the incremental ledger bookkeeping from scratch.
+
+        Recomputes the running total from the live locks and
+        contributions (the chaos suite's no-leak invariant) and, under
+        ``REPRO_SANITIZE=1``, verifies the contribution map against the
+        unsharded :class:`~repro.sanitize.LedgerShadow` mirror.
+        """
+        committed = math.fsum(self._contribs.values()) if self._contribs else 0.0
+        if self._shadow is not None:
+            self._shadow.verify_shard(self.node, self._contribs, committed)
+        locked = math.fsum(self._locks.values()) if self._locks else 0.0
+        drift = abs(self._total - (locked + committed))
+        if drift > sanitize.TOTAL_DRIFT_TOLERANCE:
+            raise sanitize.SanitizeViolation(
+                f"distributed AC {self.node!r}: running total "
+                f"{self._total!r} drifted {drift!r} from the recomputed "
+                f"locked+committed sum {locked + committed!r}"
+            )
+
+    def _arm_vote_timeout(self, txn: int, attempt: int, batch: bool):
+        """Schedule the vote-timeout event for one round (chaos only)."""
+        if not self._chaos_armed():
+            return None
+        callback = self._on_batch_vote_timeout if batch else self._on_vote_timeout
+        return self.sim.schedule(
+            self._vote_timeout * (2.0 ** attempt), callback, txn
+        )
+
+    @staticmethod
+    def _cancel_vote_timeout(transaction) -> None:
+        if transaction.timeout_handle is not None:
+            transaction.timeout_handle.cancel()
+            transaction.timeout_handle = None
+
+    def _arm_lock_expiry(self, key: object, expiry: float) -> None:
+        """Backstop: free an orphaned phase-1 lock at its job's deadline.
+
+        Armed only under chaos; cancelled when the round's outcome
+        arrives.  If the coordinator crashed (or its abort was lost),
+        the lock — and the vote recorded for resends — are released
+        here, so no reservation outlives the job it was for.
+        """
+        if not self._chaos_armed():
+            return
+        self._lock_expiry[key] = self.sim.schedule_at(
+            max(self.sim.now, expiry), self._expire_lock, key
+        )
+
+    def _cancel_lock_expiry(self, key: object) -> None:
+        handle = self._lock_expiry.pop(key, None)
+        if handle is not None:
+            handle.cancel()
+
+    def _expire_lock(self, key: object) -> None:
+        self._lock_expiry.pop(key, None)
+        locked = self._locks.pop(key, None)
+        if locked is None:
+            return
+        self._total -= locked
+        if not self._locks and not self._contribs:
+            self._total = 0.0
+        # The recorded vote claims this lock; a later duplicate reserve
+        # must re-evaluate instead of resending it.
+        txn = key[0] if isinstance(key, tuple) else key
+        self._granted_votes.pop(txn, None)
 
     # ------------------------------------------------------------------
     # Coordinator role
     # ------------------------------------------------------------------
     def _on_task_arrive(self, event: TaskArriveEvent) -> None:
+        if self._crashed:
+            # A crashed node admits nothing; reject immediately (local
+            # accounting — the TE holding the job is on this node) so
+            # every arrival still resolves exactly once.
+            self._reject(event, "node crashed")
+            return
         cost = self.env.cost_model.sample(OP_ADMISSION_TEST, self.env.cost_rng)
         if self.get_attribute("batching"):
             # Queue the arrival; the first work item to complete drains
@@ -321,7 +519,8 @@ class DistributedAdmissionControllerComponent(Component):
         it, exactly as the packed vote loop does).
         """
         events = self._arrival_queue
-        if not events:
+        if not events or self._crashed:
+            # crash() already rejected and flushed the queue.
             return
         self._arrival_queue = []
         self.batch_calls += 1
@@ -357,10 +556,15 @@ class DistributedAdmissionControllerComponent(Component):
             for node in item.participants:
                 sent.setdefault(node, []).append(index)
         participants = sorted(sent)
-        self._batch_transactions[txn] = _BatchTransaction(
+        transaction = _BatchTransaction(
             items=items, participants=participants, sent=sent
         )
+        self._batch_transactions[txn] = transaction
         self.coordination_rounds += 1
+        # Armed before the reserves go out: local participants vote
+        # synchronously during the push loop and may complete (and
+        # cancel) the round before the loop ends.
+        transaction.timeout_handle = self._arm_vote_timeout(txn, 0, batch=True)
         for node in participants:
             request = BatchReserveRequest(
                 txn=txn,
@@ -379,6 +583,10 @@ class DistributedAdmissionControllerComponent(Component):
             self._source.push(node, TOPIC_RESERVE_BATCH, request)
 
     def _coordinate(self, event: TaskArriveEvent) -> None:
+        if self._crashed:
+            # The node crashed while the admission cost elapsed.
+            self._reject(event, "node crashed")
+            return
         job = event.job
         task = job.task
         now = self.sim.now
@@ -401,6 +609,8 @@ class DistributedAdmissionControllerComponent(Component):
         )
         self._transactions[txn] = transaction
         self.coordination_rounds += 1
+        # Armed before the reserves go out (see _drain_arrivals).
+        transaction.timeout_handle = self._arm_vote_timeout(txn, 0, batch=False)
         for node in transaction.participants:
             request = ReserveRequest(
                 txn=txn,
@@ -413,14 +623,64 @@ class DistributedAdmissionControllerComponent(Component):
             self._source.push(node, TOPIC_RESERVE, request)
 
     def _on_vote(self, vote: Vote) -> None:
+        if self._crashed:
+            return
         transaction = self._transactions.get(vote.txn)
         if transaction is None:
             return
         transaction.votes[vote.node] = vote
         if len(transaction.votes) < len(transaction.participants):
             return
+        self._cancel_vote_timeout(transaction)
         del self._transactions[vote.txn]
         self._finish_transaction(vote.txn, transaction)
+
+    def _on_vote_timeout(self, txn: int) -> None:
+        """The scalar round ``txn`` is missing votes past the deadline."""
+        transaction = self._transactions.get(txn)
+        if transaction is None:
+            return
+        self.vote_timeouts += 1
+        transaction.timeout_handle = None
+        if transaction.attempt < self._max_retries:
+            transaction.attempt += 1
+            job = transaction.job
+            for node in transaction.participants:
+                if node in transaction.votes:
+                    continue
+                # Participants memoize granted votes, so a duplicate
+                # reserve is answered idempotently (no double-lock).
+                self.retries_sent += 1
+                self.reserve_messages += 1
+                self._source.push(
+                    node,
+                    TOPIC_RESERVE,
+                    ReserveRequest(
+                        txn=txn,
+                        coordinator=self.node,
+                        job_key=job.key,
+                        delta=transaction.deltas[node],
+                        expiry=job.absolute_deadline,
+                    ),
+                )
+            transaction.timeout_handle = self._arm_vote_timeout(
+                txn, transaction.attempt, batch=False
+            )
+            return
+        # Out of retries: abort, releasing every granted reservation.
+        # Participants whose vote was lost in flight still hold a lock,
+        # so the abort goes to every participant (a participant that
+        # never locked ignores it); a lost abort is backstopped by the
+        # participant's lock expiry.
+        del self._transactions[txn]
+        self.aborted_transactions += 1
+        for node in transaction.participants:
+            self._source.push(
+                node,
+                TOPIC_COMMIT,
+                Outcome(txn=txn, job_key=transaction.job.key, commit=False),
+            )
+        self._reject(transaction.event, "coordination timed out")
 
     def _finish_transaction(self, txn: int, transaction: _Transaction) -> None:
         votes = transaction.votes
@@ -428,21 +688,33 @@ class DistributedAdmissionControllerComponent(Component):
         condition_sum = 0.0
         job = transaction.job
         assignment = job.task.home_assignment()
-        if all_granted:
+        # Retried rounds can outlast the job's deadline; committing then
+        # would pair an instantly-expiring reservation with a released
+        # job.  Chaos-gated: without faults a round always completes in
+        # a few network hops, well inside any deadline.
+        expired = (
+            transaction.attempt > 0 or self._chaos_armed()
+        ) and job.absolute_deadline <= self.sim.now
+        if all_granted and not expired:
             task = job.task
             post = {node: votes[node].post_utilization for node in votes}
             condition_sum = sum(
                 aub_term(post[assignment[s.index]]) for s in task.subtasks
             )
             all_granted = condition_sum <= 1.0 + EPSILON
-        if not all_granted:
+        if not all_granted or expired:
             for node in transaction.participants:
                 self._source.push(
                     node,
                     TOPIC_COMMIT,
                     Outcome(txn=txn, job_key=transaction.job.key, commit=False),
                 )
-            self._reject(transaction.event, "reserve phase refused")
+            self._reject(
+                transaction.event,
+                "deadline expired during coordination"
+                if expired
+                else "reserve phase refused",
+            )
             return
         # Partition the residual slack equally among visited processors
         # and convert each share into a local utilization cap.
@@ -476,14 +748,75 @@ class DistributedAdmissionControllerComponent(Component):
         )
 
     def _on_batch_vote(self, vote: BatchVote) -> None:
+        if self._crashed:
+            return
         transaction = self._batch_transactions.get(vote.txn)
         if transaction is None:
             return
         transaction.votes[vote.node] = vote
         if len(transaction.votes) < len(transaction.participants):
             return
+        self._cancel_vote_timeout(transaction)
         del self._batch_transactions[vote.txn]
         self._finish_batch_transaction(vote.txn, transaction)
+
+    def _on_batch_vote_timeout(self, txn: int) -> None:
+        """The piggybacked round ``txn`` is missing votes past the
+        deadline; same retry/abort ladder as the scalar rounds."""
+        transaction = self._batch_transactions.get(txn)
+        if transaction is None:
+            return
+        self.vote_timeouts += 1
+        transaction.timeout_handle = None
+        if transaction.attempt < self._max_retries:
+            transaction.attempt += 1
+            items = transaction.items
+            for node in transaction.participants:
+                if node in transaction.votes:
+                    continue
+                self.retries_sent += 1
+                self.reserve_messages += 1
+                self._source.push(
+                    node,
+                    TOPIC_RESERVE_BATCH,
+                    BatchReserveRequest(
+                        txn=txn,
+                        coordinator=self.node,
+                        items=tuple(
+                            ReserveItem(
+                                index=i,
+                                job_key=items[i].job.key,
+                                delta=items[i].deltas[node],
+                                expiry=items[i].job.absolute_deadline,
+                            )
+                            for i in transaction.sent[node]
+                        ),
+                    ),
+                )
+            transaction.timeout_handle = self._arm_vote_timeout(
+                txn, transaction.attempt, batch=True
+            )
+            return
+        del self._batch_transactions[txn]
+        self.aborted_transactions += 1
+        for node in transaction.participants:
+            self._source.push(
+                node,
+                TOPIC_COMMIT_BATCH,
+                BatchOutcome(
+                    txn=txn,
+                    items=tuple(
+                        Outcome(
+                            txn=txn,
+                            job_key=transaction.items[i].job.key,
+                            commit=False,
+                        )
+                        for i in transaction.sent[node]
+                    ),
+                ),
+            )
+        for item in transaction.items:
+            self._reject(item.event, "coordination timed out")
 
     def _finish_batch_transaction(
         self, txn: int, transaction: _BatchTransaction
@@ -501,6 +834,8 @@ class DistributedAdmissionControllerComponent(Component):
         outcomes: Dict[str, List[Outcome]] = {
             node: [] for node in transaction.participants
         }
+        # See _finish_transaction: retried rounds can outlast deadlines.
+        check_expiry = transaction.attempt > 0 or self._chaos_armed()
         for index, item in enumerate(transaction.items):
             job = item.job
             task = job.task
@@ -508,19 +843,25 @@ class DistributedAdmissionControllerComponent(Component):
             all_granted = all(
                 grants[index].get(node, False) for node in item.participants
             )
+            expired = check_expiry and job.absolute_deadline <= self.sim.now
             condition_sum = 0.0
-            if all_granted:
+            if all_granted and not expired:
                 post = posts[index]
                 condition_sum = sum(
                     aub_term(post[assignment[s.index]]) for s in task.subtasks
                 )
                 all_granted = condition_sum <= 1.0 + EPSILON
-            if not all_granted:
+            if not all_granted or expired:
                 for node in item.participants:
                     outcomes[node].append(
                         Outcome(txn=txn, job_key=job.key, commit=False)
                     )
-                self._reject(item.event, "reserve phase refused")
+                self._reject(
+                    item.event,
+                    "deadline expired during coordination"
+                    if expired
+                    else "reserve phase refused",
+                )
                 continue
             # Partition the residual slack equally among visited
             # processors, exactly as the scalar round does.
@@ -571,25 +912,43 @@ class DistributedAdmissionControllerComponent(Component):
     # Participant role
     # ------------------------------------------------------------------
     def _on_reserve(self, request: ReserveRequest) -> None:
+        if self._crashed:
+            return
         cost = self.env.cost_model.sample(OP_ADMISSION_TEST, self.env.cost_rng)
         self.processor.submit(
             self._thread, WorkItem(cost, self._vote_on, request)
         )
 
     def _vote_on(self, request: ReserveRequest) -> None:
+        if self._crashed:
+            # Crashed mid-admission-cost; the coordinator's timeout
+            # (or our lock expiry, had we locked earlier) recovers.
+            return
+        recorded = self._granted_votes.get(request.txn)
+        if recorded is not None:
+            # Duplicate reserve: our granted vote was lost in flight.
+            # Resend it verbatim — the lock is already held, so
+            # re-evaluating would double-count the delta.
+            self._source.push(request.coordinator, TOPIC_VOTE, recorded)
+            return
         granted = self._locally_admissible(request.delta)
         if granted:
             self._locks[request.txn] = request.delta
             self._total += request.delta
+            self._arm_lock_expiry(request.txn, request.expiry)
         vote = Vote(
             txn=request.txn,
             node=self.node,
             granted=granted,
             post_utilization=self.utilization if granted else 0.0,
         )
+        if granted:
+            self._granted_votes[request.txn] = vote
         self._source.push(request.coordinator, TOPIC_VOTE, vote)
 
     def _on_batch_reserve(self, request: BatchReserveRequest) -> None:
+        if self._crashed:
+            return
         # One admission-test cost per reservation, as the scalar rounds
         # charge — piggybacking saves messages, not admission math.
         cost = sum(
@@ -605,37 +964,62 @@ class DistributedAdmissionControllerComponent(Component):
         lock is visible to the items after it, exactly as the sequential
         one-round-per-reservation path (whose reserve requests all land
         before any outcome returns) evaluates them."""
+        if self._crashed:
+            return
+        recorded = self._granted_votes.get(request.txn)
+        if recorded is not None:
+            # Duplicate reserve after a lost vote: resend verbatim (the
+            # granted items' locks are already held).
+            self._source.push(request.coordinator, TOPIC_VOTE_BATCH, recorded)
+            return
         granted: List[bool] = []
         post: List[float] = []
         for item in request.items:
+            key = (request.txn, item.job_key)
+            if key in self._locks:
+                # Held from an earlier attempt whose recorded vote was
+                # dropped when a sibling item's lock expired: grant
+                # without re-locking.
+                granted.append(True)
+                post.append(self.utilization)
+                continue
             ok = self._locally_admissible(item.delta)
             if ok:
-                self._locks[(request.txn, item.job_key)] = item.delta
+                self._locks[key] = item.delta
                 self._total += item.delta
+                self._arm_lock_expiry(key, item.expiry)
             granted.append(ok)
             post.append(self.utilization if ok else 0.0)
-        self._source.push(
-            request.coordinator,
-            TOPIC_VOTE_BATCH,
-            BatchVote(
-                txn=request.txn,
-                node=self.node,
-                granted=tuple(granted),
-                post_utilization=tuple(post),
-            ),
+        vote = BatchVote(
+            txn=request.txn,
+            node=self.node,
+            granted=tuple(granted),
+            post_utilization=tuple(post),
         )
+        if any(granted):
+            self._granted_votes[request.txn] = vote
+        self._source.push(request.coordinator, TOPIC_VOTE_BATCH, vote)
 
     def _on_outcome(self, outcome: Outcome) -> None:
+        if self._crashed:
+            return
+        self._granted_votes.pop(outcome.txn, None)
         locked = self._locks.pop(outcome.txn, None)
         if locked is None:
             return
+        self._cancel_lock_expiry(outcome.txn)
         self._apply_outcome(outcome, locked)
 
     def _on_batch_outcome(self, batch: BatchOutcome) -> None:
+        if self._crashed:
+            return
+        self._granted_votes.pop(batch.txn, None)
         for outcome in batch.items:
-            locked = self._locks.pop((batch.txn, outcome.job_key), None)
+            key = (batch.txn, outcome.job_key)
+            locked = self._locks.pop(key, None)
             if locked is None:
                 continue
+            self._cancel_lock_expiry(key)
             self._apply_outcome(outcome, locked)
 
     def _apply_outcome(self, outcome: Outcome, locked: float) -> None:
@@ -646,9 +1030,10 @@ class DistributedAdmissionControllerComponent(Component):
             return
         # The lock's share simply changes bucket (locked -> committed), so
         # the running total is unchanged.
-        self._contribs[outcome.job_key] = (
-            self._contribs.get(outcome.job_key, 0.0) + locked
-        )
+        value = self._contribs.get(outcome.job_key, 0.0) + locked
+        self._contribs[outcome.job_key] = value
+        if self._shadow is not None:
+            self._shadow.add(self.node, outcome.job_key, value)
         previous_cap = self._caps.get(outcome.job_key)
         cap = outcome.cap if previous_cap is None else min(previous_cap, outcome.cap)
         self._caps[outcome.job_key] = cap
@@ -660,6 +1045,8 @@ class DistributedAdmissionControllerComponent(Component):
     def _expire(self, job_key: Tuple[str, int]) -> None:
         value = self._contribs.pop(job_key, None)
         if value is not None:
+            if self._shadow is not None:
+                self._shadow.remove(self.node, job_key)
             self._total -= value
             if not self._locks and not self._contribs:
                 # Snap to exactly zero so float residue cannot accumulate
@@ -680,7 +1067,8 @@ class DistributedMiddlewareSystem:
 
     def __init__(self, workload, seed: int = 0, cost_model=None,
                  delay_model=None, aperiodic_interarrival_factor: float = 2.0,
-                 arrival_batching: bool = False):
+                 arrival_batching: bool = False, vote_timeout: float = 0.25,
+                 max_retries: int = 2):
         from repro.core.middleware import MiddlewareSystem
         from repro.core.strategies import StrategyCombo
 
@@ -713,7 +1101,12 @@ class DistributedMiddlewareSystem:
         for node in workload.app_nodes:
             ac = DistributedAdmissionControllerComponent(f"DAC-{node}", env)
             ac.set_configuration(
-                {"processor_id": node, "batching": arrival_batching}
+                {
+                    "processor_id": node,
+                    "batching": arrival_batching,
+                    "vote_timeout": vote_timeout,
+                    "max_retries": max_retries,
+                }
             )
             containers[node].install(ac)
             self.acs[node] = ac
@@ -724,7 +1117,25 @@ class DistributedMiddlewareSystem:
         self.sim = self._base.sim
         self.metrics = self._base.metrics
         self.network = self._base.network
+        self.rngs = self._base.rngs
         self.workload = workload
+        self._vote_timeout = vote_timeout
+        self._max_retries = max_retries
+
+    # ------------------------------------------------------------------
+    # Chaos hooks (see repro.net.fault and docs/CHAOS.md)
+    # ------------------------------------------------------------------
+    def install_fault_injector(self, injector) -> None:
+        """Install the fault injector consulted on every remote send."""
+        self.network.install_fault_injector(injector)
+
+    def crash_node(self, node: str) -> None:
+        """Fail-silent crash of ``node``'s admission controller now."""
+        self.acs[node].crash()
+
+    def recover_node(self, node: str) -> None:
+        """Re-admit ``node`` (empty ledger shard) after a crash."""
+        self.acs[node].recover()
 
     def _deploy_subtasks(self, workload, env, containers) -> None:
         from repro.core.subtask import FISubtaskComponent, LastSubtaskComponent
@@ -764,10 +1175,22 @@ class DistributedMiddlewareSystem:
             self._base.aperiodic_interarrival_factor,
         )
         arrived = self._base.schedule_arrivals(plan)
+        injector = self.network.fault_injector
+        chaos = injector is not None and injector.armed
         end = duration
         if drain:
             end += max(t.deadline for t in self.workload.tasks)
+            if chaos and self._vote_timeout > 0:
+                # A transaction started just before `duration` can climb
+                # the whole retry/backoff ladder before aborting; give
+                # timed-out rounds room to resolve inside the drain so
+                # every arrival still ends accepted or rejected.
+                end += self._vote_timeout * (2.0 ** (self._max_retries + 1))
         self.sim.run(until=end)
+        if sanitize.enabled():
+            for node in sorted(self.acs):
+                self.acs[node].verify_ledger()
+        fault_metrics = injector.metrics if injector is not None else None
         return DistributedRunResults(
             duration=end,
             metrics=self.metrics,
@@ -780,6 +1203,17 @@ class DistributedMiddlewareSystem:
             ),
             messages_sent=self.network.messages_sent,
             final_utilization={n: ac.utilization for n, ac in self.acs.items()},
+            messages_dropped=(
+                fault_metrics.messages_dropped if fault_metrics else 0
+            ),
+            messages_delay_spiked=(
+                fault_metrics.messages_delay_spiked if fault_metrics else 0
+            ),
+            vote_timeouts=sum(ac.vote_timeouts for ac in self.acs.values()),
+            retries_sent=sum(ac.retries_sent for ac in self.acs.values()),
+            transactions_aborted=sum(
+                ac.aborted_transactions for ac in self.acs.values()
+            ),
         )
 
 
@@ -798,6 +1232,15 @@ class DistributedRunResults:
     #: Two-phase rounds initiated across all coordinators (piggybacked
     #: rounds count once per burst, not once per reservation).
     coordination_rounds: int = 0
+    #: Chaos layer: remote sends suppressed / delay-stretched by the
+    #: fault injector (zero on fault-free runs).
+    messages_dropped: int = 0
+    messages_delay_spiked: int = 0
+    #: Fault-tolerance activity: vote timeouts fired, reserve retries
+    #: sent, and transactions aborted (timeout or coordinator crash).
+    vote_timeouts: int = 0
+    retries_sent: int = 0
+    transactions_aborted: int = 0
 
     @property
     def accepted_utilization_ratio(self) -> float:

@@ -46,6 +46,11 @@ from repro.experiments.ablation import (
     build_ablation_suite,
     run_aub_vs_deferrable,
 )
+from repro.experiments.chaos import (
+    ChaosResult,
+    build_chaos_suite,
+    run_chaos_suite,
+)
 from repro.experiments.disturbance import (
     DisturbanceResult,
     build_disturbance_suite,
@@ -79,6 +84,9 @@ __all__ = [
     "AblationResult",
     "run_aub_vs_deferrable",
     "build_ablation_suite",
+    "ChaosResult",
+    "run_chaos_suite",
+    "build_chaos_suite",
     "DisturbanceResult",
     "run_burst_scenario",
     "run_slowdown_scenario",

@@ -9,11 +9,13 @@ latency (e.g. fault-injection tests).
 
 from __future__ import annotations
 
+import math
 import random
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Optional, Set, Tuple
 
 from repro.errors import SimulationError
+from repro.net.fault import FaultInjector
 from repro.net.latency import DelayModel, paper_calibrated_delay
 from repro.sim.kernel import Simulator
 from repro.sim.monitor import StatSeries
@@ -68,6 +70,13 @@ class Network:
         #: One-way delay samples, for the Figure 8 "communication delay" row.
         self.delay_stats = StatSeries()
         self.messages_sent = 0
+        #: Chaos layer: consulted on every remote send when installed and
+        #: armed (see repro.net.fault).  None on ordinary runs.
+        self.fault_injector: Optional[FaultInjector] = None
+
+    def install_fault_injector(self, injector: Optional[FaultInjector]) -> None:
+        """Install (or clear) the fault injector consulted by :meth:`send`."""
+        self.fault_injector = injector
 
     # ------------------------------------------------------------------
     # Topology
@@ -112,14 +121,35 @@ class Network:
 
         ``on_deliver(message)`` fires after the sampled one-way delay.
         Sending to the local node delivers after zero delay (the paper's
-        local event channel does not traverse the gateway).
+        local event channel does not traverse the gateway) and never
+        consults the fault injector.
+
+        With an armed fault injector installed, a remote send inside a
+        crash/partition/loss window is *suppressed*: it still counts in
+        ``messages_sent`` (the sender paid for it) but samples no delay,
+        records no delay statistic, and never delivers — the returned
+        message carries an infinite delay as the dropped marker.
         """
         self._check(source)
         self._check(destination)
         if source == destination:
             delay = 0.0
         else:
-            delay = self._model_for(source, destination).sample(self.rng)
+            injector = self.fault_injector
+            if injector is not None and injector.armed:
+                cause, factor = injector.on_send(
+                    source, destination, self.sim.now
+                )
+                if cause is not None:
+                    self.messages_sent += 1
+                    return Message(
+                        source, destination, topic, payload,
+                        self.sim.now, math.inf,
+                    )
+                delay = self._model_for(source, destination).sample(self.rng)
+                delay *= factor
+            else:
+                delay = self._model_for(source, destination).sample(self.rng)
             self.delay_stats.add(delay)
         message = Message(source, destination, topic, payload, self.sim.now, delay)
         self.messages_sent += 1

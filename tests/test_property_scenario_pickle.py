@@ -25,6 +25,44 @@ durations = st.floats(
 )
 
 
+node_names = st.sampled_from(("n1", "n2", "n3", "n4"))
+
+
+def _draw_fault(draw, builder) -> None:
+    """Append one random fault disturbance via its builder method."""
+    kind = draw(st.sampled_from(
+        ("node_crash", "partition", "delay_spike", "message_loss")
+    ))
+    start = draw(st.floats(0.0, 100.0, allow_nan=False))
+    span = draw(st.floats(0.1, 50.0, allow_nan=False))
+    if kind == "node_crash":
+        builder.node_crash(
+            node=draw(node_names),
+            time=start,
+            recovery=start + span if draw(st.booleans()) else None,
+        )
+    elif kind == "partition":
+        builder.partition(
+            time=start,
+            heal=start + span,
+            group_a=("n1",),
+            group_b=draw(st.sampled_from((("n2",), ("n2", "n3")))),
+        )
+    elif kind == "delay_spike":
+        builder.delay_spike(
+            time=start,
+            until=start + span,
+            factor=draw(st.floats(0.1, 10.0, allow_nan=False)),
+        )
+    else:
+        builder.message_loss(
+            probability=draw(st.floats(0.01, 1.0, allow_nan=False)),
+            time=start,
+            until=start + span if draw(st.booleans()) else None,
+            stream=draw(st.sampled_from(("message_loss", "chaos_loss"))),
+        )
+
+
 @st.composite
 def scenarios(draw) -> Scenario:
     builder = Scenario.builder()
@@ -35,6 +73,9 @@ def scenarios(draw) -> Scenario:
     engine = draw(st.sampled_from(("middleware", "distributed", "replay")))
     if engine == "distributed":
         builder.distributed()
+        # Fault (chaos) disturbances are distributed-engine features.
+        for _ in range(draw(st.integers(0, 2))):
+            _draw_fault(draw, builder)
     elif engine == "replay":
         builder.replay(draw(st.sampled_from(POLICIES)))
     else:
@@ -54,6 +95,14 @@ def scenarios(draw) -> Scenario:
                 )
         if draw(st.booleans()):
             builder.trace()
+        if draw(st.booleans()):
+            # The one fault disturbance the middleware engine accepts.
+            start = draw(st.floats(0.0, 100.0, allow_nan=False))
+            builder.delay_spike(
+                time=start,
+                until=start + draw(st.floats(0.1, 50.0, allow_nan=False)),
+                factor=draw(st.floats(0.1, 10.0, allow_nan=False)),
+            )
     builder.duration(draw(durations))
     builder.seed(draw(seeds))
     if draw(st.booleans()):

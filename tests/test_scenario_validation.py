@@ -11,7 +11,16 @@ from __future__ import annotations
 
 import pytest
 
-from repro.api import Burst, Scenario, Slowdown, WorkloadSource
+from repro.api import (
+    Burst,
+    DelaySpike,
+    MessageLoss,
+    NodeCrash,
+    Partition,
+    Scenario,
+    Slowdown,
+    WorkloadSource,
+)
 from repro.api.scenario import (
     cost_model_from_json,
     delay_model_from_json,
@@ -241,9 +250,251 @@ class TestDisturbanceErrors:
     def test_from_json_unknown_type(self):
         with pytest.raises(
             ConfigurationError,
-            match="unknown disturbance type 'quake'; expected 'burst' or 'slowdown'",
+            match=(
+                "unknown disturbance type 'quake'; expected one of 'burst', "
+                "'slowdown', 'node_crash', 'partition', 'delay_spike', "
+                "'message_loss'"
+            ),
         ):
             disturbance_from_json({"type": "quake"})
+
+
+# ----------------------------------------------------------------------
+# Chaos (fault) disturbances
+# ----------------------------------------------------------------------
+class TestFaultDisturbanceErrors:
+    def test_node_crash_needs_node(self):
+        with pytest.raises(
+            ConfigurationError, match="node crash needs a node name"
+        ):
+            NodeCrash(node="", time=1.0)
+
+    def test_node_crash_negative_time(self):
+        with pytest.raises(
+            ConfigurationError, match="node crash time must be >= 0"
+        ):
+            NodeCrash(node="n1", time=-1.0)
+
+    def test_node_crash_recovery_before_crash(self):
+        with pytest.raises(
+            ConfigurationError,
+            match="node crash recovery must be after the crash time",
+        ):
+            NodeCrash(node="n1", time=2.0, recovery=2.0)
+
+    def test_partition_negative_time(self):
+        with pytest.raises(
+            ConfigurationError, match="partition time must be >= 0"
+        ):
+            Partition(time=-1.0, heal=2.0, group_a=("a",), group_b=("b",))
+
+    def test_partition_heal_before_start(self):
+        with pytest.raises(
+            ConfigurationError,
+            match="partition heal must be after the partition time",
+        ):
+            Partition(time=2.0, heal=2.0, group_a=("a",), group_b=("b",))
+
+    def test_partition_needs_both_groups(self):
+        with pytest.raises(
+            ConfigurationError, match="partition needs two non-empty node groups"
+        ):
+            Partition(time=1.0, heal=2.0, group_a=("a",), group_b=())
+
+    def test_partition_groups_must_be_disjoint(self):
+        with pytest.raises(
+            ConfigurationError,
+            match="partition groups must be disjoint; both sides contain \\['b'\\]",
+        ):
+            Partition(time=1.0, heal=2.0, group_a=("a", "b"), group_b=("b", "c"))
+
+    def test_delay_spike_negative_time(self):
+        with pytest.raises(
+            ConfigurationError, match="delay spike time must be >= 0"
+        ):
+            DelaySpike(time=-1.0, until=2.0, factor=3.0)
+
+    def test_delay_spike_until_before_start(self):
+        with pytest.raises(
+            ConfigurationError,
+            match="delay spike until must be after its start time",
+        ):
+            DelaySpike(time=2.0, until=2.0, factor=3.0)
+
+    def test_delay_spike_nonpositive_factor(self):
+        with pytest.raises(
+            ConfigurationError, match="delay spike factor must be > 0"
+        ):
+            DelaySpike(time=1.0, until=2.0, factor=0.0)
+
+    def test_message_loss_probability_out_of_range(self):
+        with pytest.raises(
+            ConfigurationError,
+            match="message loss probability must be in \\(0, 1\\], got 0.0",
+        ):
+            MessageLoss(probability=0.0)
+        with pytest.raises(
+            ConfigurationError,
+            match="message loss probability must be in \\(0, 1\\], got 1.5",
+        ):
+            MessageLoss(probability=1.5)
+
+    def test_message_loss_negative_time(self):
+        with pytest.raises(
+            ConfigurationError, match="message loss time must be >= 0"
+        ):
+            MessageLoss(probability=0.5, time=-1.0)
+
+    def test_message_loss_until_before_start(self):
+        with pytest.raises(
+            ConfigurationError,
+            match="message loss until must be after its start time",
+        ):
+            MessageLoss(probability=0.5, time=2.0, until=2.0)
+
+    def test_message_loss_needs_stream(self):
+        with pytest.raises(
+            ConfigurationError, match="message loss needs an RNG stream name"
+        ):
+            MessageLoss(probability=0.5, stream="")
+
+    def test_from_json_unknown_node_crash_field(self):
+        with pytest.raises(
+            ConfigurationError, match="unknown node crash field\\(s\\): blast"
+        ):
+            disturbance_from_json(
+                {"type": "node_crash", "node": "n1", "time": 1.0, "blast": 2}
+            )
+
+    def test_from_json_unknown_partition_field(self):
+        with pytest.raises(
+            ConfigurationError, match="unknown partition field\\(s\\): depth"
+        ):
+            disturbance_from_json(
+                {
+                    "type": "partition",
+                    "time": 1.0,
+                    "heal": 2.0,
+                    "group_a": ["a"],
+                    "group_b": ["b"],
+                    "depth": 3,
+                }
+            )
+
+    def test_from_json_unknown_delay_spike_field(self):
+        with pytest.raises(
+            ConfigurationError, match="unknown delay spike field\\(s\\): shape"
+        ):
+            disturbance_from_json(
+                {
+                    "type": "delay_spike",
+                    "time": 1.0,
+                    "until": 2.0,
+                    "factor": 3.0,
+                    "shape": "saw",
+                }
+            )
+
+    def test_from_json_unknown_message_loss_field(self):
+        with pytest.raises(
+            ConfigurationError, match="unknown message loss field\\(s\\): burstiness"
+        ):
+            disturbance_from_json(
+                {"type": "message_loss", "probability": 0.5, "burstiness": 2}
+            )
+
+    def test_middleware_rejects_fault_disturbances(self):
+        for disturbance in (
+            NodeCrash(node="n1", time=1.0),
+            Partition(time=1.0, heal=2.0, group_a=("n1",), group_b=("n2",)),
+            MessageLoss(probability=0.5),
+        ):
+            with pytest.raises(
+                ConfigurationError,
+                match=(
+                    "node crash/partition/message loss disturbances require "
+                    "the distributed engine"
+                ),
+            ):
+                _scenario(disturbances=(disturbance,))
+
+    def test_middleware_allows_delay_spike(self):
+        scenario = _scenario(
+            disturbances=(DelaySpike(time=1.0, until=2.0, factor=3.0),)
+        )
+        assert scenario.disturbances
+
+    def test_distributed_allows_fault_disturbances(self):
+        scenario = _scenario(
+            engine="distributed",
+            combo="J_N_N",
+            disturbances=(
+                NodeCrash(node="n1", time=1.0, recovery=2.0),
+                MessageLoss(probability=0.1, until=4.0),
+            ),
+        )
+        assert len(scenario.disturbances) == 2
+
+
+# ----------------------------------------------------------------------
+# Session-time node-reference validation
+# ----------------------------------------------------------------------
+class TestSessionNodeValidation:
+    def _session(self, *disturbances, engine="distributed", combo="J_N_N"):
+        from repro.api import Session
+
+        return Session(
+            _scenario(
+                engine=engine, combo=combo, disturbances=tuple(disturbances)
+            )
+        )
+
+    def test_node_crash_unknown_node(self):
+        with pytest.raises(
+            ConfigurationError,
+            match="NodeCrash disturbance references unknown node\\(s\\) 'ghost'",
+        ):
+            self._session(NodeCrash(node="ghost", time=1.0))
+
+    def test_partition_unknown_node(self):
+        nodes = tuple(
+            WorkloadSource.random(seed=1).materialize().app_nodes
+        )
+        with pytest.raises(
+            ConfigurationError,
+            match="Partition disturbance references unknown node\\(s\\) 'phantom'",
+        ):
+            self._session(
+                Partition(
+                    time=1.0,
+                    heal=2.0,
+                    group_a=(nodes[0],),
+                    group_b=("phantom",),
+                )
+            )
+
+    def test_slowdown_unknown_node(self):
+        with pytest.raises(
+            ConfigurationError,
+            match="Slowdown disturbance references unknown node\\(s\\) 'nope'",
+        ):
+            self._session(
+                Slowdown(time=1.0, factor=0.5, nodes=("nope",)),
+                engine="middleware",
+                combo="J_J_J",
+            )
+
+    def test_known_nodes_pass(self):
+        nodes = tuple(
+            WorkloadSource.random(seed=1).materialize().app_nodes
+        )
+        session = self._session(
+            NodeCrash(node=nodes[0], time=1.0, recovery=2.0),
+            Partition(
+                time=1.0, heal=2.0, group_a=nodes[:1], group_b=nodes[1:2]
+            ),
+        )
+        assert session.scenario.disturbances
 
 
 # ----------------------------------------------------------------------
@@ -348,10 +599,13 @@ class TestScenarioErrors:
         ):
             _scenario(engine="distributed", combo="T_T_T")
 
-    def test_distributed_rejects_disturbances(self):
+    def test_distributed_rejects_burst_slowdown_disturbances(self):
         with pytest.raises(
             ConfigurationError,
-            match="disturbances are not supported by the distributed engine",
+            match=(
+                "burst/slowdown disturbances are not supported by the "
+                "distributed engine"
+            ),
         ):
             _scenario(
                 engine="distributed",

@@ -1,0 +1,88 @@
+"""RL017: no swallowed faults in runtime code.
+
+A chaos-engineering suite is only as strong as the failure signals it
+can observe: a ``try`` block that catches everything and continues turns
+an injected fault (or a genuine protocol bug) into silent state
+divergence that surfaces runs later as a determinism break.  In ``src/``
+a handler must therefore either catch a *specific* exception type or
+re-raise what it caught.  The rule flags bare ``except:`` always, and
+``except Exception`` / ``except BaseException`` handlers whose body
+never raises.
+
+Tests and tools are out of scope — asserting on swallowed errors, or a
+CLI's last-resort error boundary, are legitimate patterns there.  A
+deliberate runtime boundary (if one ever appears) belongs in the
+baseline with a justification, not silently in the code.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro_lint.engine import Context, Finding, Rule
+from repro_lint.rules import register
+
+_BROAD_NAMES = {"Exception", "BaseException"}
+
+
+def _broad_catch(node: ast.ExceptHandler) -> bool:
+    """True for ``except Exception`` / ``BaseException`` (also in tuples)."""
+    kinds = node.type
+    if kinds is None:
+        return True
+    members = kinds.elts if isinstance(kinds, ast.Tuple) else [kinds]
+    return any(
+        isinstance(member, ast.Name) and member.id in _BROAD_NAMES
+        for member in members
+    )
+
+
+def _reraises(node: ast.ExceptHandler) -> bool:
+    return any(
+        isinstance(child, ast.Raise)
+        for stmt in node.body
+        for child in ast.walk(stmt)
+    )
+
+
+@register
+class SwallowedFaultsRule(Rule):
+    rule_id = "RL017"
+    summary = "no bare/broad except handlers that swallow faults in src/"
+    rationale = (
+        "a handler that catches everything and continues converts injected "
+        "faults and protocol bugs into silent state divergence; catch the "
+        "specific exception or re-raise"
+    )
+    node_types = (ast.ExceptHandler,)
+    include = ("src/",)
+
+    def visit(self, node: ast.AST, ctx: Context) -> Iterator[Finding]:
+        assert isinstance(node, ast.ExceptHandler)
+        if node.type is None:
+            yield Finding(
+                path=ctx.path,
+                line=node.lineno,
+                col=node.col_offset,
+                rule_id=self.rule_id,
+                message=(
+                    "bare 'except:' swallows every fault (including "
+                    "KeyboardInterrupt); catch the specific exception "
+                    "type instead"
+                ),
+            )
+            return
+        if _broad_catch(node) and not _reraises(node):
+            caught = self.excerpt(node.type)
+            yield Finding(
+                path=ctx.path,
+                line=node.lineno,
+                col=node.col_offset,
+                rule_id=self.rule_id,
+                message=(
+                    f"'except {caught}' without a re-raise swallows "
+                    "faults silently; catch the specific exception type "
+                    "or re-raise after handling"
+                ),
+            )

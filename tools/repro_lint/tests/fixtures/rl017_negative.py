@@ -1,0 +1,39 @@
+"""Negative fixture: handlers that catch narrowly or re-raise."""
+
+
+def specific_catch(mapping, key):
+    try:
+        return mapping[key]
+    except KeyError:
+        return None
+
+
+def specific_tuple(path):
+    try:
+        return open(path)
+    except (OSError, ValueError):
+        return None
+
+
+def broad_but_reraises(sim):
+    try:
+        sim.step()
+    except Exception as exc:
+        sim.record_failure(exc)
+        raise
+
+
+def broad_but_wraps(network):
+    try:
+        network.send()
+    except Exception as exc:
+        raise RuntimeError("send failed") from exc
+
+
+def broad_reraise_in_branch(item, strict):
+    try:
+        item.apply()
+    except Exception:
+        if strict:
+            raise
+        item.mark_degraded()

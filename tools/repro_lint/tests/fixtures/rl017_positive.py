@@ -1,0 +1,38 @@
+"""Positive fixture: handlers that swallow faults."""
+
+
+def bare_except(sim):
+    try:
+        sim.step()
+    except:  # expect: RL017
+        pass
+
+
+def broad_pass(network):
+    try:
+        network.send()
+    except Exception:  # expect: RL017
+        pass
+
+
+def broad_continue(items):
+    for item in items:
+        try:
+            item.apply()
+        except BaseException:  # expect: RL017
+            continue
+
+
+def broad_with_fallback(ledger):
+    try:
+        return ledger.total()
+    except Exception as exc:  # expect: RL017
+        print(exc)
+        return 0.0
+
+
+def broad_in_tuple(channel):
+    try:
+        channel.push()
+    except (ValueError, Exception):  # expect: RL017
+        return None

@@ -38,6 +38,7 @@ IN_SCOPE_PATH = {
     "RL014": "src/repro/net/fixture.py",
     "RL015": "src/repro/sched/fixture.py",
     "RL016": "src/repro/sim/fixture.py",
+    "RL017": "src/repro/core/fixture.py",
 }
 
 #: rule id -> a path the rule's scope excludes (None: rule is unscoped).
@@ -57,6 +58,7 @@ OUT_OF_SCOPE_PATH = {
     "RL014": None,
     "RL015": "tests/fixture.py",
     "RL016": "tests/fixture.py",
+    "RL017": "tests/fixture.py",
 }
 
 RULE_IDS = sorted(IN_SCOPE_PATH)
