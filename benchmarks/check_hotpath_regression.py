@@ -1,24 +1,34 @@
-"""Fail when hot-path throughput regresses against a committed baseline.
+"""Fail when hot-path throughput or latency regresses against a baseline.
 
 Compares a freshly measured ``BENCH_hotpath.json`` with the baseline
 committed at the repo root (saved aside before the benchmark overwrote
-it).  A metric fails when it falls more than ``--tolerance`` (default
-30%) below the baseline; *scales* absent from either file — e.g. rows
-dropped by ``REPRO_BENCH_HOTPATH_SCALES`` on the reduced CI grid — are
-skipped, so the gate works on any grid subset.  Whole tracked *sections*
-missing from the fresh record are a different story: that means the
-benchmark did not produce what the gate expects (truncated run, stale
-file), so the script exits 2 with a section-by-section message instead
-of silently passing or crashing.  Baseline-side sections may be absent
+it).  Every gated metric carries a *direction* resolved from its name
+suffix through :data:`DIRECTION_BY_SUFFIX`: throughputs (``_per_sec``)
+and protocol savings (``_reduction``) are higher-is-better and fail when
+they fall more than ``--tolerance`` (default 30%) below the baseline;
+latency quantiles (``.p99_s`` et al.) are lower-is-better and fail when
+they *rise* more than the tolerance.  A gated metric whose suffix is not
+registered is a hard error (exit 2) — a new metric must declare its
+direction before the gate will compare it, so a latency series can never
+be silently gated in the throughput direction or vice versa.
+
+*Scales* absent from either file — e.g. rows dropped by
+``REPRO_BENCH_HOTPATH_SCALES`` on the reduced CI grid — are skipped, so
+the gate works on any grid subset.  Whole tracked *sections* missing
+from the fresh record are a different story: that means the benchmark
+did not produce what the gate expects (truncated run, stale file), so
+the script exits 2 with a section-by-section message instead of
+silently passing or crashing.  Baseline-side sections may be absent
 (older baselines predate newer benchmarks) and are skipped as before.
 
-``--normalize`` divides every admission/ledger throughput by its own
-file's kernel event rate before comparing.  The kernel benchmark is pure
-interpreter + heap work that none of this repo's hot-path changes
-target, so it serves as a machine-speed proxy: normalization cancels the
-difference between the committing machine and the CI runner, leaving the
-gate sensitive to *relative* hot-path regressions only.  Without the
-flag the comparison is absolute (right for same-machine A/B runs).
+``--normalize`` cancels machine speed using each file's kernel event
+rate as a proxy (the kernel benchmark is pure interpreter + heap work
+that none of this repo's hot-path changes target): throughputs are
+*divided* by their file's kernel rate, latencies are *multiplied* by it
+(a slower machine has a lower kernel rate and proportionally higher
+latencies, so the product is machine-neutral).  Deterministic counters
+(``_reduction``) are never normalized.  Without the flag the comparison
+is absolute (right for same-machine A/B runs).
 
 Usage::
 
@@ -26,8 +36,9 @@ Usage::
         [--tolerance 0.30] [--normalize]
 
 Exit status: 0 all comparable metrics within tolerance, 1 regression (or
-no comparable metrics at all), 2 unreadable record or tracked section
-missing from the fresh file.
+no comparable metrics at all), 2 unreadable record, tracked section
+missing from the fresh file, or a gated metric with no registered
+direction.
 """
 
 from __future__ import annotations
@@ -36,7 +47,7 @@ import argparse
 import json
 import sys
 from pathlib import Path
-from typing import Dict, Iterator, Tuple
+from typing import Dict, Iterator, Optional, Tuple
 
 
 #: Top-level sections every complete BENCH_hotpath.json carries.  The
@@ -46,18 +57,45 @@ REQUIRED_SECTIONS = (
     "kernel_events_per_sec",
     "admission",
     "admission_batch",
+    "admission_latency",
     "lb_placement_batch",
     "ledger_sharded",
     "distributed_round",
 )
+
+HIGHER_IS_BETTER = "higher"
+LOWER_IS_BETTER = "lower"
+
+#: Metric-direction registry, keyed by name suffix *including* the
+#: boundary character before it ("_" or ".").  Each entry is
+#: ``(direction, normalized)``: direction picks which side of the
+#: tolerance band fails, ``normalized`` marks wall-clock metrics that
+#: ``--normalize`` may rescale by the kernel rate — deterministic
+#: counters stay absolute on any machine.  Gated metrics whose suffix is
+#: missing here make the gate exit 2 rather than guess a direction.
+DIRECTION_BY_SUFFIX: Dict[str, Tuple[str, bool]] = {
+    "_per_sec": (HIGHER_IS_BETTER, True),
+    "_reduction": (HIGHER_IS_BETTER, False),
+    ".p50_s": (LOWER_IS_BETTER, True),
+    ".p95_s": (LOWER_IS_BETTER, True),
+    ".p99_s": (LOWER_IS_BETTER, True),
+}
+
+
+def metric_direction(name: str) -> Optional[Tuple[str, bool]]:
+    """``(direction, normalized)`` for a gated metric, None if unknown."""
+    for suffix in sorted(DIRECTION_BY_SUFFIX, key=len, reverse=True):
+        if name.endswith(suffix):
+            return DIRECTION_BY_SUFFIX[suffix]
+    return None
 
 
 def missing_sections(data: dict) -> list:
     return [name for name in REQUIRED_SECTIONS if name not in data]
 
 
-def throughput_metrics(data: dict) -> Iterator[Tuple[str, float]]:
-    """The gated metrics: every strictly higher-is-better rate."""
+def gated_metrics(data: dict) -> Iterator[Tuple[str, float]]:
+    """Every metric the gate compares, throughput and latency alike."""
     yield "kernel_events_per_sec", data.get("kernel_events_per_sec")
     for scale, row in sorted(data.get("admission", {}).items(), key=lambda kv: int(kv[0])):
         yield f"admission[{scale}].incremental_tests_per_sec", row.get(
@@ -69,6 +107,13 @@ def throughput_metrics(data: dict) -> Iterator[Tuple[str, float]]:
         yield f"admission_batch[{scale}].batch_tests_per_sec", row.get(
             "batch_tests_per_sec"
         )
+    # Latency gates the tail: p99 is what an admission deadline cares
+    # about.  p50 is reported in the record but not gated — it sits near
+    # the timer floor where scheduling noise dominates.
+    for scale, row in sorted(
+        data.get("admission_latency", {}).items(), key=lambda kv: int(kv[0])
+    ):
+        yield f"admission_latency[{scale}].p99_s", row.get("p99_s")
     for scale, row in sorted(
         data.get("lb_placement_batch", {}).items(), key=lambda kv: int(kv[0])
     ):
@@ -85,6 +130,10 @@ def throughput_metrics(data: dict) -> Iterator[Tuple[str, float]]:
     )
 
 
+def _fmt(value: float) -> str:
+    return f"{value:>14,.0f}" if abs(value) >= 1000 else f"{value:>14.3g}"
+
+
 def compare(
     baseline: dict, fresh: dict, tolerance: float, normalize: bool = False
 ) -> int:
@@ -98,12 +147,22 @@ def compare(
         )
     base_metrics: Dict[str, float] = {
         name: value
-        for name, value in throughput_metrics(baseline)
+        for name, value in gated_metrics(baseline)
         if value is not None
     }
     failures = 0
     checked = 0
-    for name, value in throughput_metrics(fresh):
+    for name, value in gated_metrics(fresh):
+        spec = metric_direction(name)
+        if spec is None:
+            print(
+                f"gated metric {name!r} has no registered direction; add "
+                "its suffix to DIRECTION_BY_SUFFIX in "
+                "benchmarks/check_hotpath_regression.py before gating it",
+                file=sys.stderr,
+            )
+            return 2
+        direction, normalizable = spec
         reference = base_metrics.get(name)
         if value is None or reference is None or reference <= 0:
             continue
@@ -111,19 +170,26 @@ def compare(
             # The normalizer itself cannot gate its own comparison.
             continue
         checked += 1
-        if normalize and name.endswith("_per_sec"):
-            ratio = (value / fresh_scale) / (reference / base_scale)
+        if normalize and normalizable:
+            if direction == HIGHER_IS_BETTER:
+                ratio = (value / fresh_scale) / (reference / base_scale)
+            else:
+                # A slower machine has a lower kernel rate and
+                # proportionally higher latency; the product cancels both.
+                ratio = (value * fresh_scale) / (reference * base_scale)
         else:
-            # Deterministic counters (e.g. round_reduction) are machine
-            # independent; normalizing them would skew the comparison.
             ratio = value / reference
         status = "ok"
-        if ratio < 1.0 - tolerance:
+        if direction == HIGHER_IS_BETTER:
+            if ratio < 1.0 - tolerance:
+                status = "REGRESSION"
+                failures += 1
+        elif ratio > 1.0 + tolerance:
             status = "REGRESSION"
             failures += 1
         print(
-            f"  {name:<48} {reference:>14,.0f} -> {value:>14,.0f} "
-            f"({ratio:>6.2f}x)  {status}"
+            f"  {name:<48} {_fmt(reference)} -> {_fmt(value)} "
+            f"({ratio:>6.2f}x, {direction} is better)  {status}"
         )
     if checked == 0:
         print("no comparable metrics between baseline and fresh run")
@@ -145,8 +211,8 @@ def main(argv=None) -> int:
     parser.add_argument("--tolerance", type=float, default=0.30)
     parser.add_argument(
         "--normalize", action="store_true",
-        help="divide throughputs by each file's kernel rate (cross-machine "
-        "comparisons, e.g. committed baseline vs CI runner)",
+        help="rescale wall-clock metrics by each file's kernel rate "
+        "(cross-machine comparisons, e.g. committed baseline vs CI runner)",
     )
     args = parser.parse_args(argv)
     try:

@@ -47,6 +47,8 @@ class Sample:
     placement_speedup_1000: Optional[float]
     ledger_batch_ops: Optional[float]
     round_reduction: Optional[float]
+    latency_p50_1000: Optional[float]
+    latency_p99_1000: Optional[float]
 
     @classmethod
     def from_json(cls, label: str, date: str, data: dict) -> "Sample":
@@ -55,6 +57,7 @@ class Sample:
         placement = data.get("lb_placement_batch", {}).get("1000", {})
         ledger = data.get("ledger_sharded", {})
         distributed = data.get("distributed_round", {})
+        latency = data.get("admission_latency", {}).get("1000", {})
         return cls(
             label=label,
             date=date,
@@ -67,6 +70,8 @@ class Sample:
             placement_speedup_1000=placement.get("speedup"),
             ledger_batch_ops=ledger.get("batch_ops_per_sec"),
             round_reduction=distributed.get("round_reduction"),
+            latency_p50_1000=latency.get("p50_s"),
+            latency_p99_1000=latency.get("p99_s"),
         )
 
 
@@ -141,6 +146,11 @@ def _fmt_x(value: Optional[float]) -> str:
     return f"{value:.1f}x" if value is not None else "—"
 
 
+def _fmt_us(value: Optional[float]) -> str:
+    """Seconds rendered as microseconds (latency columns)."""
+    return f"{value * 1e6:,.1f}us" if value is not None else "—"
+
+
 def render(samples: List[Sample]) -> str:
     lines = [
         "# Hot-path benchmark trajectory",
@@ -159,8 +169,8 @@ def render(samples: List[Sample]) -> str:
     lines += [
         "| commit | date | kernel ev/s | incr tests/s | vs naive "
         "| batch tests/s | vs per-arrival | LB plans/s | vs probe "
-        "| ledger batch ops/s | rounds saved | trend |",
-        "|---|---|---:|---:|---:|---:|---:|---:|---:|---:|---:|:---|",
+        "| ledger batch ops/s | rounds saved | p50 lat | p99 lat | trend |",
+        "|---|---|---:|---:|---:|---:|---:|---:|---:|---:|---:|---:|:---|",
     ]
     for s in samples:
         lines.append(
@@ -174,13 +184,18 @@ def render(samples: List[Sample]) -> str:
             f"| {_fmt_x(s.placement_speedup_1000)} "
             f"| {_fmt(s.ledger_batch_ops)} "
             f"| {_fmt_x(s.round_reduction)} "
+            f"| {_fmt_us(s.latency_p50_1000)} "
+            f"| {_fmt_us(s.latency_p99_1000)} "
             f"| {_bar(s.incremental_1000, peak)} |"
         )
     lines += [
         "",
         "Columns missing in old samples (batched admission, sharded",
-        "ledger, batched LB placement, piggybacked coordination rounds)",
-        "predate the corresponding benchmark sections.",
+        "ledger, batched LB placement, piggybacked coordination rounds,",
+        "admission-decision latency quantiles) predate the corresponding",
+        "benchmark sections.  Latency columns are the per-call",
+        "`admissible()` wall-clock p50/p99 at 1000 tasks — lower is",
+        "better, and the regression gate guards the p99.",
         "",
     ]
     return "\n".join(lines)

@@ -51,6 +51,12 @@ from repro.api.scenario import (
     workload_to_json,
 )
 from repro.api.session import RunResult, Session, StatSnapshot, run_scenario
+from repro.metrics.histogram import (
+    DEFAULT_LATENCY_BUCKETS,
+    Histogram,
+    HistogramSnapshot,
+)
+from repro.metrics.registry import MetricsRegistry, MetricsSnapshot
 from repro.api.suite import (
     ExperimentSuite,
     MappingCell,
@@ -65,6 +71,11 @@ __all__ = [
     "RunResult",
     "StatSnapshot",
     "run_scenario",
+    "MetricsRegistry",
+    "MetricsSnapshot",
+    "Histogram",
+    "HistogramSnapshot",
+    "DEFAULT_LATENCY_BUCKETS",
     "WorkloadSource",
     "Burst",
     "Slowdown",

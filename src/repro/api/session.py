@@ -36,6 +36,7 @@ from repro.api.scenario import (
 )
 from repro.errors import ConfigurationError
 from repro.metrics.overhead import ALL_ROWS, OverheadRow
+from repro.metrics.registry import MetricsRegistry, MetricsSnapshot
 from repro.sim.kernel import USEC
 from repro.sim.monitor import StatSeries
 
@@ -137,6 +138,10 @@ class RunResult:
     vote_timeouts: int = 0
     retries_sent: int = 0
     transactions_aborted: int = 0
+    # Observability layer (None unless the session was armed with a
+    # MetricsRegistry; serialized only then, so legacy JSON stays
+    # byte-identical — see docs/OBSERVABILITY.md).
+    metrics_snapshot: Optional[MetricsSnapshot] = None
 
     # -- derived views ----------------------------------------------------
     def overhead_rows(self) -> List[OverheadRow]:
@@ -201,6 +206,8 @@ class RunResult:
             value = getattr(self, name)
             if value:
                 data[name] = value
+        if self.metrics_snapshot is not None:
+            data["metrics_snapshot"] = self.metrics_snapshot.to_json()
         return data
 
     def to_json_str(self, indent: int = 2) -> str:
@@ -220,6 +227,10 @@ class RunResult:
             for k, v in data.get("overhead", {}).items()
         }
         kwargs["comm_delay"] = StatSnapshot.from_json(data.get("comm_delay", {}))
+        if data.get("metrics_snapshot") is not None:
+            kwargs["metrics_snapshot"] = MetricsSnapshot.from_json(
+                data["metrics_snapshot"]
+            )
         return cls(**kwargs)
 
 
@@ -233,9 +244,20 @@ class Session:
     DAnCE-lite pipeline (workload + combo -> XML deployment plan ->
     Execution Manager), proving the declarative and deployment-descriptor
     paths assemble identical systems.
+
+    ``metrics`` arms the run with a :class:`MetricsRegistry`: the
+    engines publish decision counters, latency histograms, and shard
+    gauges into it, and the resulting :class:`RunResult` carries
+    ``metrics_snapshot``.  Unarmed runs (the default) take no metrics
+    branches and stay bit-identical to the seed.
     """
 
-    def __init__(self, scenario: Scenario, via_dance: bool = False) -> None:
+    def __init__(
+        self,
+        scenario: Scenario,
+        via_dance: bool = False,
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> None:
         if not isinstance(scenario, Scenario):
             raise ConfigurationError(
                 f"Session needs a Scenario, got {type(scenario).__name__}"
@@ -247,6 +269,7 @@ class Session:
             )
         self.scenario = scenario
         self.via_dance = via_dance
+        self.metrics = metrics
         # The deployed system comes from intentionally-untyped engine
         # modules (middleware / distributed / DAnCE-lite), hence Any.
         self._system: Optional[Any] = None
@@ -317,13 +340,16 @@ class Session:
                     scenario.aperiodic_interarrival_factor
                 ),
                 arrival_batching=scenario.arrival_batching,
+                metrics_registry=self.metrics,
             )
             self._install_faults(self._system)
             return self._system
         if self.via_dance:
             from repro.config.dance import DeploymentEngine
 
-            self._system = DeploymentEngine().deploy_scenario(scenario)
+            self._system = DeploymentEngine().deploy_scenario(
+                scenario, metrics_registry=self.metrics
+            )
         else:
             from repro.core.middleware import MiddlewareSystem
 
@@ -338,6 +364,7 @@ class Session:
                     scenario.aperiodic_interarrival_factor
                 ),
                 arrival_batching=scenario.arrival_batching,
+                metrics_registry=self.metrics,
             )
         self._apply_disturbances(self._system)
         self._install_faults(self._system)
@@ -465,6 +492,10 @@ class Session:
     def result(self) -> Optional[RunResult]:
         return self._result
 
+    def _snapshot_metrics(self) -> Optional[MetricsSnapshot]:
+        """Freeze the armed registry after a run; None when unarmed."""
+        return self.metrics.snapshot() if self.metrics is not None else None
+
     def _run_middleware(self) -> RunResult:
         scenario = self.scenario
         system = self.deploy()
@@ -502,6 +533,7 @@ class Session:
             messages_delay_spiked=(
                 fault_metrics.messages_delay_spiked if fault_metrics else 0
             ),
+            metrics_snapshot=self._snapshot_metrics(),
         )
 
     def _run_distributed(self) -> RunResult:
@@ -532,6 +564,7 @@ class Session:
             vote_timeouts=results.vote_timeouts,
             retries_sent=results.retries_sent,
             transactions_aborted=results.transactions_aborted,
+            metrics_snapshot=self._snapshot_metrics(),
         )
 
     def _run_replay(self) -> RunResult:
@@ -566,11 +599,19 @@ class Session:
             completed_jobs=outcome.admitted_jobs,
             deadline_misses=0,
             accepted_utilization_ratio=outcome.accepted_utilization_ratio,
+            metrics_snapshot=self._snapshot_metrics(),
         )
 
 
 def run_scenario(
-    scenario: Scenario, via_dance: bool = False
+    scenario: Scenario, via_dance: bool = False, with_metrics: bool = False
 ) -> RunResult:
-    """One-shot convenience: ``Session(scenario).run()``."""
-    return Session(scenario, via_dance=via_dance).run()
+    """One-shot convenience: ``Session(scenario).run()``.
+
+    ``with_metrics=True`` arms the run with a fresh
+    :class:`MetricsRegistry` so the result carries ``metrics_snapshot``.
+    A plain bool (rather than a registry argument) keeps this function
+    picklable-friendly for ``run_cells`` fan-out.
+    """
+    registry = MetricsRegistry() if with_metrics else None
+    return Session(scenario, via_dance=via_dance, metrics=registry).run()

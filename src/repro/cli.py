@@ -19,6 +19,9 @@ configure <workload-spec> [--answers C1,C3,C2,TOL] [--xml-out PATH]
     strategies, emit (and optionally save) the XML deployment plan.
 run <workload-spec> [--combo LABEL] [--duration SEC] [--seed N]
     Deploy a workload (via DAnCE-lite) and run it, printing metrics.
+metrics <scenario.json> [--out PATH] [--json OUT]
+    Run a scenario armed with the metrics registry and dump the
+    Prometheus text exposition (see docs/OBSERVABILITY.md).
 combos
     List the 15 valid strategy combinations (the registry's names).
 
@@ -172,6 +175,19 @@ def _build_parser() -> argparse.ArgumentParser:
     pr.add_argument("--json", metavar="PATH", default=None,
                     help="write the RunResult as JSON")
 
+    pm = sub.add_parser(
+        "metrics",
+        help="run a scenario armed with the metrics registry and dump "
+             "the Prometheus text exposition",
+    )
+    pm.add_argument("path", help="scenario JSON path")
+    pm.add_argument("--via-dance", action="store_true",
+                    help="deploy through the DAnCE-lite XML plan pipeline")
+    pm.add_argument("--out", metavar="PATH", default=None,
+                    help="write the exposition here instead of stdout")
+    pm.add_argument("--json", metavar="PATH", default=None,
+                    help="also write the armed RunResult as JSON")
+
     sub.add_parser("combos", help="list the 15 valid strategy combinations")
     return parser
 
@@ -264,6 +280,24 @@ def _scenario_run(args) -> None:
           f"(engine={scenario.engine}, duration={scenario.duration:.0f}s)")
     result = Session(scenario, via_dance=args.via_dance).run()
     _print_run_result(result)
+    _write_json(args.json, result.to_json())
+
+
+def _metrics_run(args) -> None:
+    from repro.api import MetricsRegistry
+
+    scenario = Scenario.load(args.path)
+    registry = MetricsRegistry()
+    result = Session(
+        scenario, via_dance=args.via_dance, metrics=registry
+    ).run()
+    exposition = registry.expose()
+    if args.out is None:
+        sys.stdout.write(exposition)
+    else:
+        with open(args.out, "w") as handle:
+            handle.write(exposition)
+        print(f"exposition written to {args.out}")
     _write_json(args.json, result.to_json())
 
 
@@ -415,6 +449,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         run = Session(scenario, via_dance=True).run()
         _print_run_result(run)
         _write_json(args.json, run.to_json())
+    elif command == "metrics":
+        _metrics_run(args)
     elif command == "combos":
         for combo in valid_combinations():
             print(combo.label)

@@ -182,6 +182,7 @@ class DeploymentEngine:
         delay_model: Optional[DelayModel] = None,
         aperiodic_interarrival_factor: float = 2.0,
         arrival_batching: bool = False,
+        metrics_registry=None,
     ) -> MiddlewareSystem:
         """Validate and deploy ``plan``; returns a ready-to-run system.
 
@@ -202,6 +203,7 @@ class DeploymentEngine:
             aperiodic_interarrival_factor=aperiodic_interarrival_factor,
             auto_deploy=False,
             arrival_batching=arrival_batching,
+            metrics_registry=metrics_registry,
         )
         repository = default_repository(system.env)
         manager = ExecutionManager(repository)
@@ -224,7 +226,7 @@ class DeploymentEngine:
         system.finish_deployment()
         return system
 
-    def deploy_scenario(self, scenario) -> MiddlewareSystem:
+    def deploy_scenario(self, scenario, metrics_registry=None) -> MiddlewareSystem:
         """Deploy a :class:`repro.api.Scenario` through the full pipeline.
 
         The scenario's workload and strategy combination become an XML-able
@@ -251,4 +253,5 @@ class DeploymentEngine:
             delay_model=scenario.delay_model,
             aperiodic_interarrival_factor=scenario.aperiodic_interarrival_factor,
             arrival_batching=scenario.arrival_batching,
+            metrics_registry=metrics_registry,
         )

@@ -148,6 +148,14 @@ class AdmissionControllerComponent(Component):
         self.idle_resets_applied = 0
         self.batch_calls = 0
         self.batched_arrivals = 0
+        # Pre-bound metric children (armed runs only): one None-check on
+        # the decision path instead of registry lookups per event.
+        self._m_decisions_accept = None
+        self._m_decisions_reject = None
+        self._m_decision_latency = None
+        self._m_queue_depth = None
+        self._m_batch_size = None
+        self._m_reclaim_size = None
 
     # ------------------------------------------------------------------
     # Strategy accessors
@@ -209,6 +217,33 @@ class AdmissionControllerComponent(Component):
         if self.ledger is None:
             self._initialize_state()
         self._thread = self.processor.new_thread(f"{self.name}.dispatch", 0.0)
+        registry = self.env.metrics_registry
+        if registry is not None:
+            decisions = registry.counter(
+                "repro_admission_decisions_total",
+                "Admission decisions by outcome.",
+                ("outcome",),
+            )
+            self._m_decisions_accept = decisions.labels("accept")
+            self._m_decisions_reject = decisions.labels("reject")
+            self._m_decision_latency = registry.histogram(
+                "repro_admission_decision_seconds",
+                "Simulated arrival-to-decision latency per job.",
+            ).labels()
+            self._m_queue_depth = registry.gauge(
+                "repro_admission_queue_depth",
+                "High-water mark of the batched arrival queue.",
+            ).labels()
+            self._m_batch_size = registry.histogram(
+                "repro_admission_batch_size",
+                "Arrivals decided per batched admission pass.",
+                buckets=(1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0),
+            ).labels()
+            self._m_reclaim_size = registry.histogram(
+                "repro_ledger_reclaim_batch_entries",
+                "Ledger entries reclaimed per idle-resetting batch.",
+                buckets=(1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0),
+            ).labels()
 
     # ------------------------------------------------------------------
     # Task Arrive handling
@@ -222,6 +257,10 @@ class AdmissionControllerComponent(Component):
             # find it empty.  Every arrival still charges its own sampled
             # admission cost to the dispatch thread.
             self._arrival_queue.append(event)
+            if self._m_queue_depth is not None:
+                self._m_queue_depth.set(
+                    max(self._m_queue_depth.value, len(self._arrival_queue))
+                )
             self.processor.submit(
                 self._thread,
                 WorkItem(cost, self._drain_arrivals, label="admit:batch"),
@@ -308,6 +347,8 @@ class AdmissionControllerComponent(Component):
         self._arrival_queue = []
         self.batch_calls += 1
         self.batched_arrivals += len(events)
+        if self._m_batch_size is not None:
+            self._m_batch_size.observe(float(len(events)))
         if self.lb_enabled:
             self._drain_arrivals_lb(events)
             return
@@ -624,6 +665,9 @@ class AdmissionControllerComponent(Component):
     def _send_accept(self, event: TaskArriveEvent, assignment: Dict[int, str]) -> None:
         job = event.job
         self.admitted_jobs += 1
+        if self._m_decisions_accept is not None:
+            self._m_decisions_accept.inc()
+            self._m_decision_latency.observe(self.sim.now - job.arrival_time)
         release_node = assignment[0]
         self.tracer.record(
             self.sim.now,
@@ -649,6 +693,9 @@ class AdmissionControllerComponent(Component):
     def _send_reject(self, event: TaskArriveEvent, reason: str) -> None:
         job = event.job
         self.rejected_jobs += 1
+        if self._m_decisions_reject is not None:
+            self._m_decisions_reject.inc()
+            self._m_decision_latency.observe(self.sim.now - job.arrival_time)
         self.tracer.record(
             self.sim.now,
             "ac.reject",
@@ -681,6 +728,8 @@ class AdmissionControllerComponent(Component):
         self.idle_resets_applied += self.ledger.remove_batch(
             ((event.node, key) for key in event.entries), now
         )
+        if self._m_reclaim_size is not None and event.entries:
+            self._m_reclaim_size.observe(float(len(event.entries)))
         self.tracer.record(
             now, "ac.idle_reset", self.node, entries=len(event.entries)
         )

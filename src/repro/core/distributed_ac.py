@@ -166,6 +166,8 @@ class _Transaction:
     timeout_handle: Optional[object] = None
     #: Reserve rounds already retried after a vote timeout.
     attempt: int = 0
+    #: Simulated time the round's reserves went out (observability).
+    started: float = 0.0
 
 
 @dataclass
@@ -191,6 +193,8 @@ class _BatchTransaction:
     timeout_handle: Optional[object] = None
     #: Reserve rounds already retried after a vote timeout.
     attempt: int = 0
+    #: Simulated time the round's reserves went out (observability).
+    started: float = 0.0
 
 
 class DistributedAdmissionControllerComponent(Component):
@@ -279,6 +283,11 @@ class DistributedAdmissionControllerComponent(Component):
         # Re-read from attributes at activation.
         self._vote_timeout = 0.25
         self._max_retries = 2
+        # Pre-bound metric children (armed runs only; see on_activate).
+        self._m_decisions_accept = None
+        self._m_decisions_reject = None
+        self._m_decision_latency = None
+        self._m_round_trip = None
         #: Unsharded mirror of committed contributions, cross-checked by
         #: :meth:`verify_ledger` (REPRO_SANITIZE=1 only).
         self._shadow: Optional[sanitize.LedgerShadow] = (
@@ -337,6 +346,25 @@ class DistributedAdmissionControllerComponent(Component):
         self._thread = self.processor.new_thread(f"{self.name}.dispatch", 0.0)
         self._vote_timeout = float(self.get_attribute("vote_timeout"))
         self._max_retries = int(self.get_attribute("max_retries"))
+        registry = self.env.metrics_registry
+        if registry is not None:
+            decisions = registry.counter(
+                "repro_admission_decisions_total",
+                "Admission decisions by outcome.",
+                ("outcome",),
+            )
+            self._m_decisions_accept = decisions.labels("accept")
+            self._m_decisions_reject = decisions.labels("reject")
+            self._m_decision_latency = registry.histogram(
+                "repro_admission_decision_seconds",
+                "Simulated arrival-to-decision latency per job.",
+            ).labels()
+            self._m_round_trip = registry.histogram(
+                "repro_vote_round_trip_seconds",
+                "Reserve-to-last-vote round-trip time per coordination "
+                "round, labeled by coordinator node.",
+                ("node",),
+            ).labels(self.node)
 
     # ------------------------------------------------------------------
     # Fault tolerance
@@ -557,7 +585,7 @@ class DistributedAdmissionControllerComponent(Component):
                 sent.setdefault(node, []).append(index)
         participants = sorted(sent)
         transaction = _BatchTransaction(
-            items=items, participants=participants, sent=sent
+            items=items, participants=participants, sent=sent, started=now
         )
         self._batch_transactions[txn] = transaction
         self.coordination_rounds += 1
@@ -606,6 +634,7 @@ class DistributedAdmissionControllerComponent(Component):
             event=event,
             participants=sorted(deltas),
             deltas=deltas,
+            started=now,
         )
         self._transactions[txn] = transaction
         self.coordination_rounds += 1
@@ -683,6 +712,8 @@ class DistributedAdmissionControllerComponent(Component):
         self._reject(transaction.event, "coordination timed out")
 
     def _finish_transaction(self, txn: int, transaction: _Transaction) -> None:
+        if self._m_round_trip is not None:
+            self._m_round_trip.observe(self.sim.now - transaction.started)
         votes = transaction.votes
         all_granted = all(v.granted for v in votes.values())
         condition_sum = 0.0
@@ -735,6 +766,9 @@ class DistributedAdmissionControllerComponent(Component):
                 ),
             )
         self.admitted_jobs += 1
+        if self._m_decisions_accept is not None:
+            self._m_decisions_accept.inc()
+            self._m_decision_latency.observe(self.sim.now - job.arrival_time)
         release_node = assignment[0]
         self._source.push(
             release_node,
@@ -823,6 +857,8 @@ class DistributedAdmissionControllerComponent(Component):
     ) -> None:
         """Decide every reservation of the round in burst order; the math
         per item is the scalar :meth:`_finish_transaction` verbatim."""
+        if self._m_round_trip is not None:
+            self._m_round_trip.observe(self.sim.now - transaction.started)
         n_items = len(transaction.items)
         # Re-key the per-participant vote vectors by burst index.
         grants: List[Dict[str, bool]] = [{} for _ in range(n_items)]
@@ -880,6 +916,9 @@ class DistributedAdmissionControllerComponent(Component):
                     )
                 )
             self.admitted_jobs += 1
+            if self._m_decisions_accept is not None:
+                self._m_decisions_accept.inc()
+                self._m_decision_latency.observe(self.sim.now - job.arrival_time)
             release_node = assignment[0]
             self._source.push(
                 release_node,
@@ -900,6 +939,9 @@ class DistributedAdmissionControllerComponent(Component):
 
     def _reject(self, event: TaskArriveEvent, reason: str) -> None:
         self.rejected_jobs += 1
+        if self._m_decisions_reject is not None:
+            self._m_decisions_reject.inc()
+            self._m_decision_latency.observe(self.sim.now - event.job.arrival_time)
         self._source.push(
             event.arrival_node,
             reject_topic(event.arrival_node),
@@ -1068,7 +1110,7 @@ class DistributedMiddlewareSystem:
     def __init__(self, workload, seed: int = 0, cost_model=None,
                  delay_model=None, aperiodic_interarrival_factor: float = 2.0,
                  arrival_batching: bool = False, vote_timeout: float = 0.25,
-                 max_retries: int = 2):
+                 max_retries: int = 2, metrics_registry=None):
         from repro.core.middleware import MiddlewareSystem
         from repro.core.strategies import StrategyCombo
 
@@ -1080,7 +1122,9 @@ class DistributedMiddlewareSystem:
             delay_model=delay_model,
             aperiodic_interarrival_factor=aperiodic_interarrival_factor,
             auto_deploy=False,
+            metrics_registry=metrics_registry,
         )
+        self.metrics_registry = metrics_registry
         env = self._base.env
         containers = self._base.containers
         # Task effectors pointed at their local controllers.
@@ -1191,6 +1235,8 @@ class DistributedMiddlewareSystem:
             for node in sorted(self.acs):
                 self.acs[node].verify_ledger()
         fault_metrics = injector.metrics if injector is not None else None
+        if self.metrics_registry is not None:
+            self._publish_final_metrics()
         return DistributedRunResults(
             duration=end,
             metrics=self.metrics,
@@ -1215,6 +1261,39 @@ class DistributedMiddlewareSystem:
                 ac.aborted_transactions for ac in self.acs.values()
             ),
         )
+
+    def _publish_final_metrics(self) -> None:
+        """Aggregate coordination counters and final shard levels, one
+        series per coordinator node.  Only reached when armed."""
+        registry = self.metrics_registry
+        counters = (
+            ("repro_coordination_rounds_total",
+             "Two-phase coordination rounds initiated.",
+             lambda ac: ac.coordination_rounds),
+            ("repro_reserve_messages_total",
+             "Reserve requests sent (initial sends plus retries).",
+             lambda ac: ac.reserve_messages),
+            ("repro_vote_timeouts_total",
+             "Coordination rounds that hit a vote timeout.",
+             lambda ac: ac.vote_timeouts),
+            ("repro_vote_retries_total",
+             "Reserve retries sent after vote timeouts.",
+             lambda ac: ac.retries_sent),
+            ("repro_transactions_aborted_total",
+             "Coordination rounds aborted after exhausting retries.",
+             lambda ac: ac.aborted_transactions),
+        )
+        for name, help_text, getter in counters:
+            family = registry.counter(name, help_text, ("node",))
+            for node in sorted(self.acs):
+                family.labels(node).inc(getter(self.acs[node]))
+        shard = registry.gauge(
+            "repro_ledger_shard_utilization",
+            "Final synthetic utilization per ledger shard (node).",
+            ("node",),
+        )
+        for node in sorted(self.acs):
+            shard.labels(node).set(self.acs[node].utilization)
 
 
 @dataclass

@@ -36,6 +36,7 @@ from repro.cpu.processor import Processor
 from repro.errors import ConfigurationError
 from repro.metrics.overhead import OverheadAccounting
 from repro.metrics.ratio import MetricsCollector
+from repro.metrics.registry import MetricsRegistry
 from repro.net.federation import FederatedEventChannel
 from repro.net.latency import DelayModel
 from repro.net.network import Network
@@ -85,6 +86,7 @@ class MiddlewareSystem:
         aperiodic_interarrival_factor: float = 2.0,
         auto_deploy: bool = True,
         arrival_batching: bool = False,
+        metrics_registry: Optional[MetricsRegistry] = None,
     ) -> None:
         combo.validate()
         self.workload = workload
@@ -103,6 +105,8 @@ class MiddlewareSystem:
         self.federation = FederatedEventChannel(self.network)
         self.metrics = MetricsCollector()
         self.overhead = OverheadAccounting()
+        #: Observability registry (None = unarmed; see docs/OBSERVABILITY.md).
+        self.metrics_registry = metrics_registry
         self.processors: Dict[str, Processor] = {}
         self.containers: Dict[str, Container] = {}
 
@@ -118,6 +122,7 @@ class MiddlewareSystem:
             tracer=self.tracer,
             manager_node=workload.manager_node,
             app_nodes=list(workload.app_nodes),
+            metrics_registry=metrics_registry,
             tasks={t.task_id: t for t in workload.tasks},
         )
         self._build_infrastructure()
@@ -309,6 +314,8 @@ class MiddlewareSystem:
         # Under REPRO_SANITIZE=1 the registry proxies every stream; a
         # run may not end with a draw some component took behind them.
         self.env.audit_rngs()
+        if self.metrics_registry is not None:
+            self._publish_final_metrics(end)
         return SystemResults(
             combo_label=self.combo.label,
             duration=end,
@@ -323,3 +330,45 @@ class MiddlewareSystem:
             messages_sent=self.network.messages_sent,
             arrived_jobs=arrived,
         )
+
+    def _publish_final_metrics(self, end: float) -> None:
+        """End-of-run levels: shard utilization, CPU utilization, kernel
+        and network volume.  Only reached when the run is armed."""
+        registry = self.metrics_registry
+        assert registry is not None and self.ac is not None
+        shard = registry.gauge(
+            "repro_ledger_shard_utilization",
+            "Final synthetic utilization per ledger shard (node).",
+            ("node",),
+        )
+        for node, utilization in sorted(self.ac.ledger.snapshot().items()):
+            shard.labels(node).set(utilization)
+        entries = registry.gauge(
+            "repro_ledger_shard_entries",
+            "Live contribution entries per ledger shard (node).",
+            ("node",),
+        )
+        for node in sorted(self.ac.ledger.nodes):
+            entries.labels(node).set(self.ac.ledger.contribution_count(node))
+        if self.ac.analyzer is not None:
+            registry.counter(
+                "repro_admission_tests_total",
+                "AUB admission tests evaluated by the analyzer.",
+            ).labels().inc(self.ac.analyzer.tests_performed)
+            registry.counter(
+                "repro_analyzer_batch_sessions_total",
+                "Burst-admission sessions opened by the analyzer.",
+            ).labels().inc(self.ac.analyzer.batch_sessions)
+        cpu = registry.gauge(
+            "repro_cpu_utilization",
+            "Busy fraction of each simulated processor over the run.",
+            ("node",),
+        )
+        for node in sorted(self.processors):
+            cpu.labels(node).set(self.processors[node].utilization(end))
+        registry.counter(
+            "repro_kernel_events_total", "Simulation kernel events executed."
+        ).labels().inc(self.sim.events_executed)
+        registry.counter(
+            "repro_network_messages_total", "Messages sent over the simulated network."
+        ).labels().inc(self.network.messages_sent)

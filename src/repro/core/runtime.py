@@ -17,6 +17,7 @@ from repro.core.cost_model import CostModel
 from repro.core.strategies import StrategyCombo
 from repro.metrics.overhead import OverheadAccounting
 from repro.metrics.ratio import MetricsCollector
+from repro.metrics.registry import MetricsRegistry
 from repro.net.federation import FederatedEventChannel
 from repro.net.network import Network
 from repro.sched.task import TaskSpec
@@ -45,6 +46,9 @@ class RuntimeEnv:
     tracer: Tracer
     manager_node: str
     app_nodes: List[str]
+    # Observability registry; None means the run is unarmed and every
+    # publish site stays on the seed-identical no-metrics path.
+    metrics_registry: Optional[MetricsRegistry] = None
     tasks: Dict[str, TaskSpec] = field(default_factory=dict)
     task_effectors: Dict[str, "TaskEffectorComponent"] = field(default_factory=dict)
     idle_resetters: Dict[str, "IdleResetterComponent"] = field(default_factory=dict)

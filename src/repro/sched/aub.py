@@ -535,6 +535,9 @@ class AubAnalyzer:
         #: drives compaction in :meth:`prune`.
         self._expiry_stale = 0
         self.tests_performed = 0
+        #: Burst-admission sessions opened (observability; see
+        #: MiddlewareSystem._publish_final_metrics).
+        self.batch_sessions = 0
         # REPRO_SANITIZE=1 (checked once, at construction): audit the
         # caches against a fresh recompute at every admission entry point.
         self._sanitize = sanitize_enabled()
@@ -1072,6 +1075,7 @@ class AubAnalyzer:
         """
         if self._sanitize:
             self._sanitize_audit_caches()
+        self.batch_sessions += 1
         return BatchAdmissionSession(self, now, demand)
 
 
